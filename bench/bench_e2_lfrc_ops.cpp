@@ -1,0 +1,148 @@
+// Experiment E2 — per-operation cost of the Figure 2 LFRC operations, on
+// both DCAS engines (google-benchmark binary).
+//
+// Paper claim (§5): the operations are short lock-free loops; LFRCLoad is
+// the expensive one (it is the only one that *requires* DCAS — the paper's
+// central observation), LFRCStore/Copy/Destroy need only CAS, and LFRCDCAS
+// pays two counts plus the DCAS itself.
+//
+// Expected shape: load > dcas-op > store > cas > copy ≈ destroy; the mcas
+// engine multiplies DCAS-bearing ops by the descriptor-protocol constant,
+// and leaves CAS-only ops nearly unchanged.
+#include <benchmark/benchmark.h>
+
+#include "lfrc/lfrc.hpp"
+
+using namespace lfrc;
+
+namespace {
+
+template <typename D>
+struct bench_node : D::object {
+    typename D::template ptr_field<bench_node> next;
+    std::uint64_t payload = 0;
+    void lfrc_visit_children(typename D::child_visitor& v) noexcept override {
+        v.on_child(next.exclusive_get());
+    }
+};
+
+template <typename D>
+void bm_make_destroy(benchmark::State& state) {
+    for (auto _ : state) {
+        auto p = D::template make<bench_node<D>>();
+        benchmark::DoNotOptimize(p.get());
+    }
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_load(benchmark::State& state) {
+    typename D::template ptr_field<bench_node<D>> shared;
+    D::store_alloc(shared, D::template make<bench_node<D>>());
+    typename D::template local_ptr<bench_node<D>> local;
+    for (auto _ : state) {
+        D::load(shared, local);
+        benchmark::DoNotOptimize(local.get());
+    }
+    D::store(shared, static_cast<bench_node<D>*>(nullptr));
+    local.reset();
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_store(benchmark::State& state) {
+    typename D::template ptr_field<bench_node<D>> shared;
+    auto a = D::template make<bench_node<D>>();
+    for (auto _ : state) {
+        D::store(shared, a.get());
+    }
+    D::store(shared, static_cast<bench_node<D>*>(nullptr));
+    a.reset();
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_copy(benchmark::State& state) {
+    auto a = D::template make<bench_node<D>>();
+    typename D::template local_ptr<bench_node<D>> local;
+    for (auto _ : state) {
+        D::copy(local, a.get());
+    }
+    local.reset();
+    a.reset();
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_cas(benchmark::State& state) {
+    typename D::template ptr_field<bench_node<D>> shared;
+    auto a = D::template make<bench_node<D>>();
+    auto b = D::template make<bench_node<D>>();
+    D::store(shared, a.get());
+    bench_node<D>* from = a.get();
+    bench_node<D>* to = b.get();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(D::cas(shared, from, to));
+        std::swap(from, to);
+    }
+    D::store(shared, static_cast<bench_node<D>*>(nullptr));
+    a.reset();
+    b.reset();
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_dcas(benchmark::State& state) {
+    typename D::template ptr_field<bench_node<D>> f0, f1;
+    auto a = D::template make<bench_node<D>>();
+    auto b = D::template make<bench_node<D>>();
+    D::store(f0, a.get());
+    D::store(f1, b.get());
+    bench_node<D>* x = a.get();
+    bench_node<D>* y = b.get();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(D::dcas(f0, f1, x, y, y, x));
+        std::swap(x, y);
+    }
+    D::store(f0, static_cast<bench_node<D>*>(nullptr));
+    D::store(f1, static_cast<bench_node<D>*>(nullptr));
+    a.reset();
+    b.reset();
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_failed_cas(benchmark::State& state) {
+    // Failure path: the compensating destroy (lines 38..39 analogue).
+    typename D::template ptr_field<bench_node<D>> shared;
+    auto a = D::template make<bench_node<D>>();
+    auto wrong = D::template make<bench_node<D>>();
+    D::store(shared, a.get());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(D::cas(shared, wrong.get(), wrong.get()));
+    }
+    D::store(shared, static_cast<bench_node<D>*>(nullptr));
+    a.reset();
+    wrong.reset();
+    flush_deferred_frees();
+}
+
+}  // namespace
+
+BENCHMARK(bm_make_destroy<domain>)->Name("E2/mcas/make+destroy");
+BENCHMARK(bm_load<domain>)->Name("E2/mcas/LFRCLoad");
+BENCHMARK(bm_store<domain>)->Name("E2/mcas/LFRCStore");
+BENCHMARK(bm_copy<domain>)->Name("E2/mcas/LFRCCopy");
+BENCHMARK(bm_cas<domain>)->Name("E2/mcas/LFRCCAS");
+BENCHMARK(bm_dcas<domain>)->Name("E2/mcas/LFRCDCAS");
+BENCHMARK(bm_failed_cas<domain>)->Name("E2/mcas/LFRCCAS-fail");
+
+BENCHMARK(bm_make_destroy<locked_domain>)->Name("E2/locked/make+destroy");
+BENCHMARK(bm_load<locked_domain>)->Name("E2/locked/LFRCLoad");
+BENCHMARK(bm_store<locked_domain>)->Name("E2/locked/LFRCStore");
+BENCHMARK(bm_copy<locked_domain>)->Name("E2/locked/LFRCCopy");
+BENCHMARK(bm_cas<locked_domain>)->Name("E2/locked/LFRCCAS");
+BENCHMARK(bm_dcas<locked_domain>)->Name("E2/locked/LFRCDCAS");
+BENCHMARK(bm_failed_cas<locked_domain>)->Name("E2/locked/LFRCCAS-fail");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Experiment E3 — DCAS emulation cost and contention behaviour, plus the
+// locked-vs-lock-free ablation (DESIGN.md §6).
+//
+// Paper context (§1): the paper *assumes* hardware DCAS and argues stronger
+// primitives are worth providing. This experiment quantifies what the
+// assumption costs in software: the blocking striped-lock emulation versus
+// the lock-free RDCSS/MCAS emulation, on disjoint cell pairs (no logical
+// contention) and on one shared pair (maximum contention).
+//
+// Expected shape: locked wins uncontended (two uncontended spinlocks beat
+// descriptor traffic); under contention the gap narrows — and on multicore
+// with preemption the lock-free engine avoids the blocked-lock-holder
+// stalls that the locked engine suffers. Helping counters are reported.
+//
+//   --duration=0.5 --max_threads=4
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcas/cell.hpp"
+#include "dcas/locked_engine.hpp"
+#include "dcas/mcas_engine.hpp"
+#include "util/bench_support.hpp"
+#include "util/cacheline.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+using namespace lfrc;
+
+namespace {
+
+// One cache line per cell so "disjoint" really is disjoint.
+struct cell_pair {
+    util::padded<dcas::cell> a;
+    util::padded<dcas::cell> b;
+};
+
+template <typename Engine>
+double run_disjoint(int threads, double duration) {
+    // One private pair per thread: pure protocol cost, no contention.
+    std::vector<std::unique_ptr<cell_pair>> pairs;
+    for (int t = 0; t < threads; ++t) pairs.push_back(std::make_unique<cell_pair>());
+    const auto result = util::run_for(threads, duration, [&](int t) {
+        auto& pair = *pairs[static_cast<std::size_t>(t)];
+        const auto va = Engine::read(*pair.a);
+        const auto vb = Engine::read(*pair.b);
+        Engine::dcas(*pair.a, *pair.b, va, vb,
+                     dcas::encode_count(dcas::decode_count(va) + 1),
+                     dcas::encode_count(dcas::decode_count(vb) + 1));
+    });
+    return result.mops_per_sec();
+}
+
+template <typename Engine>
+double run_contended(int threads, double duration) {
+    cell_pair pair;
+    const auto result = util::run_for(threads, duration, [&](int) {
+        const auto va = Engine::read(*pair.a);
+        const auto vb = Engine::read(*pair.b);
+        Engine::dcas(*pair.a, *pair.b, va, vb,
+                     dcas::encode_count(dcas::decode_count(va) + 1),
+                     dcas::encode_count(dcas::decode_count(vb) + 1));
+    });
+    return result.mops_per_sec();
+}
+
+volatile std::uint64_t g_sink;
+inline void benchmark_read(std::uint64_t v) { g_sink = v; }
+
+template <typename Engine>
+double run_read_heavy(int threads, double duration) {
+    // 90% single-cell reads, 10% DCAS: the LFRC op mix shape.
+    cell_pair pair;
+    const auto result = util::run_for(threads, duration, [&](int) {
+        auto& rng = util::thread_rng();
+        if (rng.below(10) != 0) {
+            benchmark_read(Engine::read(*pair.a));
+        } else {
+            const auto va = Engine::read(*pair.a);
+            const auto vb = Engine::read(*pair.b);
+            Engine::dcas(*pair.a, *pair.b, va, vb, va, vb);
+        }
+    });
+    return result.mops_per_sec();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::cli_flags flags(argc, argv);
+    const double duration = flags.get_double("duration", 0.4);
+    const int max_threads = static_cast<int>(flags.get_u64("max_threads", 4));
+
+    std::printf("E3: DCAS engine throughput (Mops/s), duration/cell=%.2fs\n\n", duration);
+
+    const auto helps_before = dcas::mcas_engine::stats().helps.load();
+
+    util::table table({"workload", "threads", "locked", "mcas", "locked/mcas"});
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+        const double l = run_disjoint<dcas::locked_engine>(threads, duration);
+        const double m = run_disjoint<dcas::mcas_engine>(threads, duration);
+        table.add_row({"disjoint-pairs", std::to_string(threads), util::table::fmt(l),
+                       util::table::fmt(m), util::table::fmt(m > 0 ? l / m : 0, 1) + "x"});
+    }
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+        const double l = run_contended<dcas::locked_engine>(threads, duration);
+        const double m = run_contended<dcas::mcas_engine>(threads, duration);
+        table.add_row({"same-pair", std::to_string(threads), util::table::fmt(l),
+                       util::table::fmt(m), util::table::fmt(m > 0 ? l / m : 0, 1) + "x"});
+    }
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+        const double l = run_read_heavy<dcas::locked_engine>(threads, duration);
+        const double m = run_read_heavy<dcas::mcas_engine>(threads, duration);
+        table.add_row({"90%-read-mix", std::to_string(threads), util::table::fmt(l),
+                       util::table::fmt(m), util::table::fmt(m > 0 ? l / m : 0, 1) + "x"});
+    }
+    table.print();
+
+    std::printf("\nmcas helping events during run: %llu "
+                "(descriptor completions by non-owners)\n",
+                static_cast<unsigned long long>(dcas::mcas_engine::stats().helps.load() -
+                                                helps_before));
+    return 0;
+}

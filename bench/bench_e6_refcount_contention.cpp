@@ -1,0 +1,106 @@
+// Experiment E6 — reference-count contention on a hot shared pointer
+// (DESIGN.md §6).
+//
+// Paper context (§5/§6): every LFRCLoad performs a DCAS that *writes* the
+// pointee's count, so N readers of one hot pointer serialize on its count
+// word — the structural cost of counting that protection-based schemes
+// (hazard pointers: per-thread announce slots) avoid. The paper accepts this
+// cost for the simplicity and GC-independence it buys; this experiment
+// makes the cost visible.
+//
+// Expected shape (reads of ONE shared pointer, no writers):
+//   plain-load >> hp-protect >> lfrc-load, and the gap to lfrc grows with
+//   reader count (all readers RMW the same cache line).
+//
+//   --duration=0.4 --max_threads=4
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "lfrc/lfrc.hpp"
+#include "reclaim/hazard.hpp"
+#include "util/bench_support.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace lfrc;
+
+namespace {
+
+struct hot_node : domain::object {
+    std::uint64_t payload = 42;
+    void lfrc_visit_children(domain::child_visitor&) noexcept override {}
+};
+
+volatile std::uint64_t g_sink;
+
+double lfrc_read_throughput(int threads, double duration) {
+    domain::ptr_field<hot_node> shared;
+    domain::store_alloc(shared, domain::make<hot_node>());
+    const auto result = util::run_for(threads, duration, [&](int) {
+        thread_local domain::local_ptr<hot_node> local;
+        // Each load increments the new target and decrements the previous
+        // one: exactly two shared RMWs per read, steady state.
+        domain::load(shared, local);
+        g_sink = local->payload;
+    });
+    domain::store(shared, static_cast<hot_node*>(nullptr));
+    flush_deferred_frees();
+    return result.mops_per_sec();
+}
+
+struct plain_node {
+    std::uint64_t payload = 42;
+};
+
+double hp_read_throughput(int threads, double duration) {
+    std::atomic<plain_node*> shared{new plain_node};
+    const auto result = util::run_for(threads, duration, [&](int) {
+        thread_local reclaim::hazard_domain::hp hp{reclaim::hazard_domain::global()};
+        plain_node* p = hp.protect(shared);
+        g_sink = p->payload;
+        hp.clear();
+    });
+    delete shared.exchange(nullptr);
+    return result.mops_per_sec();
+}
+
+double plain_read_throughput(int threads, double duration) {
+    std::atomic<plain_node*> shared{new plain_node};
+    const auto result = util::run_for(threads, duration, [&](int) {
+        // Unsafe baseline: no protection at all (legal only because nothing
+        // frees here) — the absolute ceiling.
+        g_sink = shared.load(std::memory_order_acquire)->payload;
+    });
+    delete shared.exchange(nullptr);
+    return result.mops_per_sec();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::cli_flags flags(argc, argv);
+    const double duration = flags.get_double("duration", 0.4);
+    const int max_threads = static_cast<int>(flags.get_u64("max_threads", 4));
+
+    std::printf("E6: hot-pointer read throughput by protection scheme (Mops/s), "
+                "duration/cell=%.2fs\n\n",
+                duration);
+
+    util::table table({"readers", "plain-load", "hp-protect", "lfrc-load",
+                       "hp/lfrc"});
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+        const double plain = plain_read_throughput(threads, duration);
+        const double hp = hp_read_throughput(threads, duration);
+        const double lfrc_tp = lfrc_read_throughput(threads, duration);
+        table.add_row({std::to_string(threads), util::table::fmt(plain),
+                       util::table::fmt(hp), util::table::fmt(lfrc_tp),
+                       util::table::fmt(lfrc_tp > 0 ? hp / lfrc_tp : 0, 1) + "x"});
+    }
+    table.print();
+
+    std::printf("\nshape check: the counted load pays two shared RMWs (DCAS on the\n"
+                "count) per read; protection-based reads only write thread-private\n"
+                "slots. This is the documented cost of reference counting.\n");
+    return 0;
+}

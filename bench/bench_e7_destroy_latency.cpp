@@ -1,0 +1,109 @@
+// Experiment E7 — destroying the last pointer to a large structure: eager
+// vs incremental (DESIGN.md §6; the ablation for the §7 extension).
+//
+// Paper claim (§7): "[incremental collection] would avoid long delays when
+// a thread destroys the last pointer to a large structure."
+//
+// For lists of N nodes this harness measures
+//   eager total      : one LFRCDestroy call tearing down all N (the stall)
+//   incr worst slice : the LONGEST single step(budget) pause
+//   incr total       : sum of all slices (bounded-overhead check)
+//
+// Expected shape: eager total grows linearly with N (multi-millisecond at
+// N=1e6); the incremental worst slice stays ~flat at the budget size, while
+// incremental total stays within a small constant factor of eager total.
+//
+//   --budget=1024 --max_n=1000000
+#include <cstdio>
+#include <string>
+
+#include "lfrc/incremental.hpp"
+#include "lfrc/lfrc.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace lfrc;
+
+namespace {
+
+struct chain_node : domain::object {
+    domain::ptr_field<chain_node> next;
+    std::uint64_t payload = 0;
+    void lfrc_visit_children(domain::child_visitor& v) noexcept override {
+        v.on_child(next.exclusive_get());
+    }
+};
+
+domain::local_ptr<chain_node> build_chain(std::uint64_t n) {
+    domain::local_ptr<chain_node> head;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto nd = domain::make<chain_node>();
+        domain::store(nd->next, head);
+        head = std::move(nd);
+    }
+    return head;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::cli_flags flags(argc, argv);
+    const std::size_t budget = flags.get_u64("budget", 1024);
+    const std::uint64_t max_n = flags.get_u64("max_n", 1'000'000);
+
+    std::printf("E7: last-pointer destruction latency, eager vs incremental "
+                "(budget=%zu objects/slice)\n\n",
+                budget);
+
+    util::table table({"list size", "eager total ms", "incr worst slice ms",
+                       "incr total ms", "slices"});
+    for (std::uint64_t n = 1000; n <= max_n; n *= 10) {
+        // Eager: the paper's LFRCDestroy semantics, one call.
+        double eager_ms = 0;
+        {
+            auto head = build_chain(n);
+            chain_node* raw = head.release();
+            util::stopwatch sw;
+            domain::destroy(raw);
+            eager_ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+        }
+        flush_deferred_frees();
+
+        // Incremental: park, then bounded slices.
+        double worst_slice_ms = 0;
+        double incr_total_ms = 0;
+        std::uint64_t slices = 0;
+        {
+            incremental_destroyer<domain> destroyer;
+            auto head = build_chain(n);
+            {
+                chain_node* raw = head.release();
+                util::stopwatch sw;
+                destroyer.destroy(raw);  // O(1): just parks
+                const double ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+                incr_total_ms += ms;
+                if (ms > worst_slice_ms) worst_slice_ms = ms;
+            }
+            for (;;) {
+                util::stopwatch sw;
+                const std::size_t done = destroyer.step(budget);
+                const double ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+                if (done == 0) break;
+                ++slices;
+                incr_total_ms += ms;
+                if (ms > worst_slice_ms) worst_slice_ms = ms;
+            }
+        }
+        flush_deferred_frees();
+
+        table.add_row({std::to_string(n), util::table::fmt(eager_ms, 3),
+                       util::table::fmt(worst_slice_ms, 3),
+                       util::table::fmt(incr_total_ms, 3), std::to_string(slices)});
+    }
+    table.print();
+
+    std::printf("\nshape check: eager grows ~linearly in N; the worst incremental\n"
+                "slice is bounded by the budget regardless of N.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Membership service on the LFRC hash set — a server-ish scenario: session
+// tokens are registered, looked up by request handlers, and expired by a
+// reaper, all concurrently, with no garbage collector in sight.
+//
+//   $ ./examples/membership [--handlers=3] [--sessions=20000]
+//
+// Invariants printed at the end: every registered session was either
+// observed active or reaped exactly once, and all memory is reclaimed.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "containers/lfrc_hash_set.hpp"
+#include "lfrc/lfrc.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/stopwatch.hpp"
+
+using dom = lfrc::domain;
+
+int main(int argc, char** argv) {
+    lfrc::util::cli_flags flags(argc, argv);
+    const int handlers = static_cast<int>(flags.get_u64("handlers", 3));
+    const std::int64_t sessions = static_cast<std::int64_t>(flags.get_u64("sessions", 20000));
+
+    std::atomic<std::int64_t> registered{0}, reaped{0}, hits{0}, misses{0};
+    lfrc::util::stopwatch clock;
+    {
+        lfrc::containers::lfrc_hash_set<dom, std::int64_t> live_sessions{64};
+        std::atomic<std::int64_t> next_session{0};
+        std::atomic<bool> registrar_done{false};
+
+        std::vector<std::thread> pool;
+        // Registrar: creates sessions.
+        pool.emplace_back([&] {
+            for (std::int64_t s = 0; s < sessions; ++s) {
+                if (live_sessions.insert(s)) registered.fetch_add(1);
+                next_session.store(s + 1, std::memory_order_release);
+            }
+            registrar_done = true;
+        });
+        // Handlers: look up random sessions (may race with the reaper).
+        for (int h = 0; h < handlers; ++h) {
+            pool.emplace_back([&, h] {
+                lfrc::util::xoshiro256 rng{static_cast<std::uint64_t>(h) + 1};
+                while (!registrar_done.load() ||
+                       reaped.load() < registered.load()) {
+                    const auto horizon = next_session.load(std::memory_order_acquire);
+                    if (horizon == 0) continue;
+                    const auto id = static_cast<std::int64_t>(
+                        rng.below(static_cast<std::uint64_t>(horizon)));
+                    if (live_sessions.contains(id)) {
+                        hits.fetch_add(1);
+                    } else {
+                        misses.fetch_add(1);
+                    }
+                    if (reaped.load() >= sessions) break;
+                }
+            });
+        }
+        // Reaper: expires sessions in order, lagging the registrar.
+        pool.emplace_back([&] {
+            std::int64_t cursor = 0;
+            while (cursor < sessions) {
+                if (cursor < next_session.load(std::memory_order_acquire)) {
+                    if (live_sessions.erase(cursor)) reaped.fetch_add(1);
+                    ++cursor;
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+        for (auto& t : pool) t.join();
+
+        std::printf("sessions registered : %lld\n", static_cast<long long>(registered.load()));
+        std::printf("sessions reaped     : %lld\n", static_cast<long long>(reaped.load()));
+        std::printf("lookup hits/misses  : %lld / %lld\n",
+                    static_cast<long long>(hits.load()),
+                    static_cast<long long>(misses.load()));
+        std::printf("left in set         : %zu (expected 0)\n", live_sessions.size());
+        std::printf("elapsed             : %.3f s\n", clock.elapsed_seconds());
+    }
+    lfrc::flush_deferred_frees();
+    const auto counters = dom::counters().snapshot();
+    std::printf("nodes leaked        : %lld\n",
+                static_cast<long long>(counters.objects_created) -
+                    static_cast<long long>(counters.objects_destroyed));
+    return registered.load() == reaped.load() ? 0 : 1;
+}

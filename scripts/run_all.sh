@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, tests, every experiment, every example.
+# Outputs land in test_output.txt and bench_output.txt at the repo root
+# (the same artifacts EXPERIMENTS.md cites).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "=== $(basename "$b") ==="
+    if [[ "$(basename "$b")" == "bench_e2_lfrc_ops" ]]; then
+      "$b" --benchmark_min_time=0.2
+    else
+      "$b"
+    fi
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "=== examples (smoke) ==="
+./build/examples/quickstart
+./build/examples/conversion_tutorial
+./build/examples/memory_shrink --waves=2 --wave_size=10000
+./build/examples/pipeline --items=20000
+./build/examples/membership --sessions=5000
+./build/examples/work_stealing --tasks=500
+./build/examples/gc_vs_lfrc --threads=2 --ops=10000
+echo
+echo "=== soak (10 s) ==="
+./build/tests/soak --seconds=10 --threads=4
+echo "ALL DONE"

@@ -1,0 +1,186 @@
+// Lock-free, type-stable block pool.
+//
+// This is the allocation regime the paper contrasts LFRC against: memory is
+// recycled through a LIFO freelist but *never returned to the system* while
+// the pool lives (Valois [19] and other freelist-based schemes require
+// exactly this "type-stable" property). Two consumers in this repo:
+//
+//  * containers::valois_stack — the comparator whose footprint cannot
+//    shrink (experiment E4);
+//  * tests/test_aba_demo.cpp — the LIFO reuse makes ABA reproduce reliably,
+//    demonstrating why CAS-only reference counting on reusable memory is
+//    unsound (paper §1) while LFRC on fresh heap memory is not.
+//
+// Freelist ABA within the pool itself is prevented with a 32-bit tag packed
+// next to a 32-bit block index in a single 64-bit head word; blocks are
+// addressed by index through a chunk directory, so no double-width CAS is
+// needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+#include "alloc/stats.hpp"
+
+namespace lfrc::alloc {
+
+template <std::size_t BlockSize>
+class block_pool {
+  public:
+    static constexpr std::size_t blocks_per_chunk = 1024;
+    static constexpr std::size_t max_chunks = 4096;
+
+    /// `track_stats == false` keeps this pool's chunks out of the global
+    /// allocation counters — used by infrastructure pools (DCAS descriptors,
+    /// epoch retire nodes) whose footprint would otherwise pollute
+    /// application-level leak accounting.
+    explicit block_pool(bool track_stats = true) noexcept : track_stats_(track_stats) {}
+    block_pool(const block_pool&) = delete;
+    block_pool& operator=(const block_pool&) = delete;
+
+    ~block_pool() {
+        for (std::size_t c = 0; c < max_chunks; ++c) {
+            std::byte* chunk = chunks_[c].load(std::memory_order_relaxed);
+            if (chunk != nullptr) {
+                if (track_stats_) note_free(chunk_bytes);
+                ::operator delete[](chunk, std::align_val_t{slot_align});
+            }
+        }
+    }
+
+    /// Returns a BlockSize-byte region. Lock-free; recycled blocks are
+    /// returned most-recently-freed first.
+    void* allocate() {
+        bool fresh_unused;
+        return allocate_ex(fresh_unused);
+    }
+
+    /// Like allocate(), reporting whether the block is freshly carved
+    /// (never used before) or recycled. Reference-counting schemes over
+    /// type-stable memory need the distinction: recycled blocks may still
+    /// receive stale accesses from their previous life and must not be
+    /// blindly re-initialized (see containers::valois_stack).
+    void* allocate_ex(bool& fresh) {
+        // Fast path: pop the freelist.
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        while (index_of(head) != null_index) {
+            std::byte* slot = slot_at(index_of(head));
+            std::uint32_t next;
+            std::memcpy(&next, slot + sizeof(std::uint32_t), sizeof(next));
+            const std::uint64_t desired = pack(tag_of(head) + 1, next);
+            if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
+                fresh = false;
+                return slot + header_bytes;
+            }
+        }
+        // Slow path: carve a fresh block.
+        fresh = true;
+        const std::uint64_t block_index = fresh_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t chunk_index = block_index / blocks_per_chunk;
+        if (chunk_index >= max_chunks) throw std::bad_alloc{};
+        std::byte* chunk = ensure_chunk(chunk_index);
+        std::byte* slot = chunk + (block_index % blocks_per_chunk) * slot_bytes;
+        const auto index = static_cast<std::uint32_t>(block_index);
+        std::memcpy(slot, &index, sizeof(index));
+        return slot + header_bytes;
+    }
+
+    void deallocate(void* p) noexcept {
+        auto* slot = static_cast<std::byte*>(p) - header_bytes;
+        std::uint32_t index;
+        std::memcpy(&index, slot, sizeof(index));
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint32_t old_top = index_of(head);
+            std::memcpy(slot + sizeof(std::uint32_t), &old_top, sizeof(old_top));
+            const std::uint64_t desired = pack(tag_of(head) + 1, index);
+            if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) return;
+        }
+    }
+
+    /// Bytes this pool holds from the system (never decreases while alive).
+    std::size_t footprint_bytes() const noexcept {
+        std::size_t chunks = 0;
+        for (std::size_t c = 0; c < max_chunks; ++c) {
+            if (chunks_[c].load(std::memory_order_relaxed) != nullptr) ++chunks;
+        }
+        return chunks * chunk_bytes;
+    }
+
+    std::uint64_t blocks_carved() const noexcept {
+        return fresh_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::size_t header_bytes = 8;  // 4B index + 4B freelist next
+    static constexpr std::size_t slot_align = 16;
+    static constexpr std::size_t slot_bytes =
+        (header_bytes + BlockSize + slot_align - 1) / slot_align * slot_align;
+    static constexpr std::size_t chunk_bytes = slot_bytes * blocks_per_chunk;
+    static constexpr std::uint32_t null_index = 0xffffffffu;
+
+    static std::uint32_t index_of(std::uint64_t head) noexcept {
+        return static_cast<std::uint32_t>(head);
+    }
+    static std::uint32_t tag_of(std::uint64_t head) noexcept {
+        return static_cast<std::uint32_t>(head >> 32);
+    }
+    static std::uint64_t pack(std::uint32_t tag, std::uint32_t index) noexcept {
+        return (static_cast<std::uint64_t>(tag) << 32) | index;
+    }
+
+    std::byte* slot_at(std::uint32_t index) const noexcept {
+        std::byte* chunk = chunks_[index / blocks_per_chunk].load(std::memory_order_acquire);
+        return chunk + (index % blocks_per_chunk) * slot_bytes;
+    }
+
+    std::byte* ensure_chunk(std::size_t chunk_index) {
+        std::byte* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+        if (chunk != nullptr) return chunk;
+        auto* fresh_chunk = static_cast<std::byte*>(
+            ::operator new[](chunk_bytes, std::align_val_t{slot_align}));
+        std::byte* expected = nullptr;
+        if (chunks_[chunk_index].compare_exchange_strong(expected, fresh_chunk,
+                                                         std::memory_order_acq_rel)) {
+            if (track_stats_) note_alloc(chunk_bytes);
+            return fresh_chunk;
+        }
+        ::operator delete[](fresh_chunk, std::align_val_t{slot_align});
+        return expected;
+    }
+
+    const bool track_stats_ = true;
+    std::atomic<std::uint64_t> head_{pack(0, null_index)};
+    std::atomic<std::uint64_t> fresh_{0};
+    std::atomic<std::byte*> chunks_[max_chunks] = {};
+};
+
+/// Typed facade: allocate() gives raw storage for a T (caller placement-news
+/// it; the whole point of type-stable pools is that reused storage may still
+/// be read as a T by stale threads, so the pool never runs destructors).
+template <typename T>
+class typed_pool {
+  public:
+    void* allocate_raw() { return pool_.allocate(); }
+    void* allocate_raw_ex(bool& fresh) { return pool_.allocate_ex(fresh); }
+    void deallocate_raw(void* p) noexcept { pool_.deallocate(p); }
+
+    template <typename... Args>
+    T* create(Args&&... args) {
+        return ::new (pool_.allocate()) T(std::forward<Args>(args)...);
+    }
+
+    /// Returns storage to the freelist WITHOUT running ~T (type-stability).
+    void recycle(T* p) noexcept { pool_.deallocate(p); }
+
+    std::size_t footprint_bytes() const noexcept { return pool_.footprint_bytes(); }
+    std::uint64_t blocks_carved() const noexcept { return pool_.blocks_carved(); }
+
+  private:
+    block_pool<sizeof(T)> pool_;
+};
+
+}  // namespace lfrc::alloc

@@ -1,0 +1,43 @@
+// Counted allocation helpers: new/delete wrappers that report to
+// alloc::stats. LFRC-managed objects route through these via their base
+// class; tests and comparator structures use them directly so that all
+// footprint numbers are measured with the same instrument.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "alloc/stats.hpp"
+
+namespace lfrc::alloc {
+
+template <typename T, typename... Args>
+T* counted_new(Args&&... args) {
+    T* p = new T(std::forward<Args>(args)...);
+    note_alloc(sizeof(T));
+    return p;
+}
+
+template <typename T>
+void counted_delete(T* p) noexcept {
+    if (p == nullptr) return;
+    note_free(sizeof(T));
+    delete p;
+}
+
+/// Mixin: derive to get allocation-counted operator new/delete.
+/// `sz` is passed by the compiler, so derived-class sizes are exact.
+struct counted_base {
+    static void* operator new(std::size_t sz) {
+        void* p = ::operator new(sz);
+        note_alloc(sz);
+        return p;
+    }
+    static void operator delete(void* p, std::size_t sz) noexcept {
+        note_free(sz);
+        ::operator delete(p);
+    }
+};
+
+}  // namespace lfrc::alloc

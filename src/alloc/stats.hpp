@@ -1,0 +1,46 @@
+// Process-wide allocation statistics.
+//
+// Every LFRC-managed object and every pool allocator reports through these
+// counters. Tests use `scope_check` to assert that a workload returns the
+// heap to its starting state (the paper's "no memory leaks" claim), and the
+// footprint benchmarks (experiment E4) sample `live_bytes()` between phases.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfrc::alloc {
+
+struct stats_snapshot {
+    std::int64_t live_bytes = 0;
+    std::int64_t live_objects = 0;
+    std::uint64_t total_allocations = 0;
+    std::uint64_t total_frees = 0;
+};
+
+void note_alloc(std::size_t bytes) noexcept;
+void note_free(std::size_t bytes) noexcept;
+
+stats_snapshot snapshot() noexcept;
+
+std::int64_t live_bytes() noexcept;
+std::int64_t live_objects() noexcept;
+
+/// RAII leak check for tests: captures live-object count on construction and
+/// reports the delta on request. (Assertions live in the tests, not here, so
+/// this header stays gtest-free.)
+class scope_check {
+  public:
+    scope_check() noexcept : start_(snapshot()) {}
+
+    std::int64_t leaked_objects() const noexcept {
+        return live_objects() - start_.live_objects;
+    }
+    std::int64_t leaked_bytes() const noexcept { return live_bytes() - start_.live_bytes; }
+
+  private:
+    stats_snapshot start_;
+};
+
+}  // namespace lfrc::alloc

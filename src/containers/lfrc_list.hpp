@@ -1,0 +1,145 @@
+// Sorted singly-linked set, LFRC-transformed, with DCAS-based deletion.
+//
+// Harris's classic lock-free list marks deleted nodes by stealing a bit of
+// the successor pointer — exactly the pointer arithmetic LFRC compliance
+// forbids (§2.1). With DCAS the mark can live in its own shared flag cell
+// and be changed atomically *with* the structural pointer, which is how this
+// set stays inside the allowed operation set:
+//
+//   logical delete : CAS the node's `dead` flag false -> true
+//                    (an unmarked node is always still reachable, so the
+//                    flag CAS is the linearization point of erase);
+//   insert         : DCAS(pred->next: curr -> node, pred->dead: stays false)
+//                    — anchoring on a live predecessor so an insert can
+//                    never land after an already-deleted node;
+//   physical unlink: DCAS(pred->next: curr -> curr->next, curr->dead: stays
+//                    true), performed as helping during traversal. Dead
+//                    nodes keep their forward pointer, so a stale unlink can
+//                    transiently re-expose a dead node but never cuts off
+//                    the tail; traversals skip dead nodes logically.
+//
+// Cycle-free garbage: unlinked nodes point forward into the list (or to
+// other dead nodes), never backwards — chains, not cycles — so the §2.1
+// criterion holds and LFRC reclaims everything once traversals let go.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc::containers {
+
+template <typename Domain, typename Key>
+class lfrc_list_set {
+  public:
+    struct lnode : Domain::object {
+        typename Domain::template ptr_field<lnode> next;
+        typename Domain::flag_field dead;
+        Key key{};
+
+        lnode() = default;
+        explicit lnode(Key k) : key(std::move(k)) {}
+
+        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
+            visitor.on_child(next.exclusive_get());
+        }
+    };
+
+    using local = typename Domain::template local_ptr<lnode>;
+
+    lfrc_list_set() {
+        // Head sentinel: key value irrelevant, never dead, never unlinked.
+        Domain::store_alloc(head_, Domain::template make<lnode>());
+    }
+
+    ~lfrc_list_set() { Domain::store(head_, static_cast<lnode*>(nullptr)); }
+
+    lfrc_list_set(const lfrc_list_set&) = delete;
+    lfrc_list_set& operator=(const lfrc_list_set&) = delete;
+
+    /// Adds key; false if already present.
+    bool insert(const Key& key) {
+        for (;;) {
+            auto [pred, curr] = search(key);
+            if (curr && curr->key == key) return false;  // live duplicate
+            local node = Domain::template make<lnode>(key);
+            Domain::store(node->next, curr);
+            if (Domain::dcas_ptr_flag(pred->next, pred->dead, curr.get(), false,
+                                      node.get(), false)) {
+                return true;
+            }
+            // pred died or pred->next moved: re-search.
+        }
+    }
+
+    /// Removes key; false if absent.
+    bool erase(const Key& key) {
+        for (;;) {
+            auto [pred, curr] = search(key);
+            if (!curr || curr->key != key) return false;
+            if (curr->dead.cas(false, true)) {
+                // Logically deleted by us; physical unlink is best-effort
+                // (traversals will help if this fails).
+                local succ = Domain::load_get(curr->next);
+                Domain::dcas_ptr_flag(pred->next, curr->dead, curr.get(), true,
+                                      succ.get(), true);
+                return true;
+            }
+            // Lost the race: either a concurrent erase (key now absent) or a
+            // stale view; re-search decides.
+        }
+    }
+
+    bool contains(const Key& key) {
+        auto [pred, curr] = search(key);
+        (void)pred;
+        return curr && curr->key == key;
+    }
+
+    /// Element count; exact only at quiescence.
+    std::size_t size() {
+        std::size_t n = 0;
+        local curr = Domain::load_get(head_);
+        local next;
+        Domain::load(curr->next, next);
+        while (next) {
+            if (!next->dead.load()) ++n;
+            curr = next;
+            Domain::load(curr->next, next);
+        }
+        return n;
+    }
+
+  private:
+    /// Returns (pred, curr) with pred the last live node whose key < key
+    /// (or the head sentinel) and curr the first live node with key >= key
+    /// (or null). Helps unlink dead nodes along the way.
+    std::pair<local, local> search(const Key& key) {
+    restart:
+        local pred = Domain::load_get(head_);
+        local curr = Domain::load_get(pred->next);
+        for (;;) {
+            if (!curr) return {std::move(pred), std::move(curr)};
+            if (curr->dead.load()) {
+                // Help unlink curr from pred; a failure means pred moved or
+                // died — restart from the head.
+                local succ = Domain::load_get(curr->next);
+                if (!Domain::dcas_ptr_flag(pred->next, curr->dead, curr.get(), true,
+                                           succ.get(), true)) {
+                    goto restart;
+                }
+                curr = std::move(succ);
+                continue;
+            }
+            if (!(curr->key < key)) return {std::move(pred), std::move(curr)};
+            pred = curr;
+            Domain::load(pred->next, curr);
+        }
+    }
+
+    typename Domain::template ptr_field<lnode> head_;
+};
+
+}  // namespace lfrc::containers

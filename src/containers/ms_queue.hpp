@@ -1,0 +1,103 @@
+// Michael & Scott FIFO queue [13], LFRC-transformed.
+//
+// The original (PODC 1996) is GC-dependent in exactly the sense of the
+// paper: in a garbage-collected environment its tag-free form is correct
+// because nodes cannot be reused while referenced. The LFRC rewrite below
+// replaces every pointer access per Table 1 and nothing else.
+//
+// Cycle-free garbage: a dequeued node's `next` keeps pointing forward (to a
+// newer node), so garbage forms forward chains, never cycles — a slow
+// thread holding an old head pins the chain up to the current head until it
+// releases, after which everything collapses. §2.1's criterion holds
+// naturally.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc::containers {
+
+template <typename Domain, typename V>
+class ms_queue {
+  public:
+    struct node : Domain::object {
+        typename Domain::template ptr_field<node> next;
+        V value{};
+
+        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
+            visitor.on_child(next.exclusive_get());
+        }
+    };
+
+    using local = typename Domain::template local_ptr<node>;
+
+    ms_queue() {
+        // One dummy node; head == tail == dummy represents empty.
+        local dummy = Domain::template make<node>();
+        Domain::store(head_, dummy);
+        Domain::store(tail_, dummy);
+    }
+
+    ms_queue(const ms_queue&) = delete;
+    ms_queue& operator=(const ms_queue&) = delete;
+
+    /// Not concurrency-safe; call at quiescence.
+    ~ms_queue() {
+        Domain::store(head_, static_cast<node*>(nullptr));
+        Domain::store(tail_, static_cast<node*>(nullptr));
+    }
+
+    void enqueue(V v) {
+        local nd = Domain::template make<node>();
+        nd->value = std::move(v);
+        local t, next;
+        for (;;) {
+            Domain::load(tail_, t);
+            Domain::load(t->next, next);
+            if (!next) {
+                if (Domain::cas(t->next, static_cast<node*>(nullptr), nd.get())) {
+                    // Swing tail; failure means someone else already did.
+                    Domain::cas(tail_, t.get(), nd.get());
+                    return;
+                }
+            } else {
+                // Tail lagging: help it forward.
+                Domain::cas(tail_, t.get(), next.get());
+            }
+        }
+    }
+
+    std::optional<V> dequeue() {
+        local h, t, next;
+        for (;;) {
+            Domain::load(head_, h);
+            Domain::load(tail_, t);
+            Domain::load(h->next, next);
+            if (h == t) {
+                if (!next) return std::nullopt;  // empty
+                Domain::cas(tail_, t.get(), next.get());  // help lagging tail
+            } else {
+                // Read the value before the CAS (next stays alive through
+                // our counted reference either way).
+                V v = next->value;
+                if (Domain::cas(head_, h.get(), next.get())) {
+                    return v;
+                }
+            }
+        }
+    }
+
+    bool empty() {
+        local h = Domain::load_get(head_);
+        local next = Domain::load_get(h->next);
+        return !next;
+    }
+
+  private:
+    typename Domain::template ptr_field<node> head_;
+    typename Domain::template ptr_field<node> tail_;
+};
+
+}  // namespace lfrc::containers

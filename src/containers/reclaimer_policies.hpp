@@ -1,0 +1,89 @@
+// Reclamation policies for the GC-dependent baseline containers.
+//
+// The paper's §6 surveys alternatives to LFRC; experiment E5 compares the
+// LFRC containers against the same algorithms running on:
+//   * leaky_policy — never free (an idealized "GC will handle it"
+//     environment with the collector turned off: fastest possible, leaks);
+//   * ebr_policy   — epoch-based reclamation (retire-on-unlink);
+//   * hp_policy    — hazard pointers (Michael 2002).
+//
+// A policy provides a `guard` (RAII protection scope with two protect
+// slots — enough for stack and queue traversals) and `retire(p)`.
+#pragma once
+
+#include <atomic>
+
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace lfrc::containers {
+
+struct leaky_policy {
+    static constexpr const char* name() { return "leaky"; }
+
+    class guard {
+      public:
+        template <typename T>
+        T* protect0(const std::atomic<T*>& src) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+        template <typename T>
+        T* protect1(const std::atomic<T*>& src) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+    };
+
+    template <typename T>
+    static void retire(T*) noexcept {}  // leak, by definition
+};
+
+struct ebr_policy {
+    static constexpr const char* name() { return "ebr"; }
+
+    class guard {
+      public:
+        template <typename T>
+        T* protect0(const std::atomic<T*>& src) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+        template <typename T>
+        T* protect1(const std::atomic<T*>& src) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+
+      private:
+        reclaim::epoch_domain::guard pin_{reclaim::epoch_domain::global()};
+    };
+
+    template <typename T>
+    static void retire(T* p) {
+        reclaim::epoch_domain::global().retire(p);
+    }
+};
+
+struct hp_policy {
+    static constexpr const char* name() { return "hp"; }
+
+    class guard {
+      public:
+        template <typename T>
+        T* protect0(const std::atomic<T*>& src) noexcept {
+            return h0_.protect(src);
+        }
+        template <typename T>
+        T* protect1(const std::atomic<T*>& src) noexcept {
+            return h1_.protect(src);
+        }
+
+      private:
+        reclaim::hazard_domain::hp h0_{reclaim::hazard_domain::global()};
+        reclaim::hazard_domain::hp h1_{reclaim::hazard_domain::global()};
+    };
+
+    template <typename T>
+    static void retire(T* p) {
+        reclaim::hazard_domain::global().retire(p);
+    }
+};
+
+}  // namespace lfrc::containers

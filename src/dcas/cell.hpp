@@ -1,0 +1,74 @@
+// The 64-bit shared cell every DCAS engine operates on, plus the value
+// encoding contract.
+//
+// The paper assumes a hardware DCAS instruction that can atomically
+// compare-and-swap two independently chosen memory words (e.g. the Motorola
+// 68020 CAS2 it cites). We emulate that in software (see locked_engine and
+// mcas_engine); the lock-free emulation publishes *descriptor pointers*
+// through the same cells it operates on, so it must be able to distinguish a
+// descriptor from an application value. The two low bits of every cell are
+// therefore reserved:
+//
+//   bits 1..0 == 00  application value (pointer or encoded count)
+//   bits 1..0 == 01  RDCSS descriptor   (mcas_engine internal)
+//   bits 1..0 == 10  MCAS descriptor    (mcas_engine internal)
+//
+// Applications keep the contract automatically: heap pointers are >= 8-byte
+// aligned, and reference counts are stored shifted left by two
+// (encode_count / decode_count below).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace lfrc::dcas {
+
+class cell {
+  public:
+    cell() noexcept = default;
+    explicit cell(std::uint64_t initial) noexcept : word_(initial) {}
+
+    cell(const cell&) = delete;
+    cell& operator=(const cell&) = delete;
+
+    /// Raw access for engines only; application code goes through an engine.
+    std::atomic<std::uint64_t>& raw() noexcept { return word_; }
+    const std::atomic<std::uint64_t>& raw() const noexcept { return word_; }
+
+  private:
+    std::atomic<std::uint64_t> word_{0};
+};
+
+inline constexpr std::uint64_t tag_mask = 0x3;
+inline constexpr std::uint64_t tag_value = 0x0;
+inline constexpr std::uint64_t tag_rdcss = 0x1;
+inline constexpr std::uint64_t tag_mcas = 0x2;
+
+inline bool is_clean_value(std::uint64_t v) noexcept { return (v & tag_mask) == tag_value; }
+inline bool is_rdcss(std::uint64_t v) noexcept { return (v & tag_mask) == tag_rdcss; }
+inline bool is_mcas(std::uint64_t v) noexcept { return (v & tag_mask) == tag_mcas; }
+
+/// Pointer <-> cell value. Heap objects are always >= 8-aligned, so the low
+/// tag bits of a pointer value are naturally zero.
+template <typename T>
+std::uint64_t encode_ptr(T* p) noexcept {
+    const auto v = reinterpret_cast<std::uint64_t>(p);
+    assert(is_clean_value(v) && "pointers stored in cells must be 4-byte aligned");
+    return v;
+}
+
+template <typename T>
+T* decode_ptr(std::uint64_t v) noexcept {
+    assert(is_clean_value(v));
+    return reinterpret_cast<T*>(v);
+}
+
+/// Count <-> cell value: counts occupy bits 2..63.
+inline std::uint64_t encode_count(std::uint64_t c) noexcept { return c << 2; }
+inline std::uint64_t decode_count(std::uint64_t v) noexcept {
+    assert(is_clean_value(v));
+    return v >> 2;
+}
+
+}  // namespace lfrc::dcas

@@ -1,0 +1,26 @@
+// The DCAS engine concept.
+//
+// An engine provides atomic single-cell read, single-cell CAS, and the
+// paper's DCAS: atomically compare two independently chosen cells against
+// expected values and, if both match, write both new values. All application
+// access to cells in one "domain" must go through the same engine; mixing
+// engines on one cell is undefined (the MCAS engine publishes descriptors
+// that only it understands).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "dcas/cell.hpp"
+
+namespace lfrc::dcas {
+
+template <typename E>
+concept dcas_engine = requires(cell& c, std::uint64_t v) {
+    { E::read(c) } -> std::same_as<std::uint64_t>;
+    { E::cas(c, v, v) } -> std::same_as<bool>;
+    { E::dcas(c, c, v, v, v, v) } -> std::same_as<bool>;
+    { E::name() } -> std::convertible_to<const char*>;
+};
+
+}  // namespace lfrc::dcas

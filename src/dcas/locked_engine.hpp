@@ -1,0 +1,89 @@
+// DCAS emulation via address-ordered striped spinlocks.
+//
+// Simple and easy to believe correct, but *blocking*: a preempted lock
+// holder stalls other writers to the same stripes. It serves as
+//  (a) the differential-testing oracle for the lock-free mcas_engine, and
+//  (b) the "simple emulation" baseline in experiment E3.
+//
+// Single-cell reads take no lock: a reader of one cell observes either the
+// before or after value of any DCAS, which is exactly the atomicity a
+// hardware DCAS would give a concurrent single-word load. Writers (cas/dcas)
+// serialize through the stripes so the compare-and-update of each cell is
+// atomic with respect to every other writer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "dcas/cell.hpp"
+#include "util/backoff.hpp"
+
+namespace lfrc::dcas {
+
+class locked_engine {
+  public:
+    static const char* name() noexcept { return "locked"; }
+
+    static std::uint64_t read(cell& c) noexcept {
+        return c.raw().load(std::memory_order_acquire);
+    }
+
+    static bool cas(cell& c, std::uint64_t expected, std::uint64_t desired) noexcept {
+        stripe_lock guard0(stripe_of(&c));
+        if (c.raw().load(std::memory_order_relaxed) != expected) return false;
+        c.raw().store(desired, std::memory_order_release);
+        return true;
+    }
+
+    static bool dcas(cell& c0, cell& c1, std::uint64_t o0, std::uint64_t o1,
+                     std::uint64_t n0, std::uint64_t n1) noexcept {
+        std::size_t s0 = stripe_of(&c0);
+        std::size_t s1 = stripe_of(&c1);
+        if (s0 > s1) std::swap(s0, s1);  // address-order acquisition: no deadlock
+        stripe_lock guard0(s0);
+        stripe_lock guard1(s0 == s1 ? npos : s1);
+        if (c0.raw().load(std::memory_order_relaxed) != o0 ||
+            c1.raw().load(std::memory_order_relaxed) != o1) {
+            return false;
+        }
+        c0.raw().store(n0, std::memory_order_release);
+        c1.raw().store(n1, std::memory_order_release);
+        return true;
+    }
+
+  private:
+    static constexpr std::size_t num_stripes = 2048;
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    static std::size_t stripe_of(const cell* c) noexcept {
+        auto a = reinterpret_cast<std::uintptr_t>(c);
+        // Mix so that cells in the same object land on different stripes.
+        a ^= a >> 17;
+        a *= 0x9e3779b97f4a7c15ULL;
+        return (a >> 32) % num_stripes;
+    }
+
+    static std::atomic_flag& stripe(std::size_t s) noexcept {
+        static std::atomic_flag stripes[num_stripes] = {};
+        return stripes[s];
+    }
+
+    class stripe_lock {
+      public:
+        explicit stripe_lock(std::size_t s) noexcept : index_(s) {
+            if (index_ == npos) return;
+            util::backoff bo;
+            while (stripe(index_).test_and_set(std::memory_order_acquire)) bo();
+        }
+        ~stripe_lock() {
+            if (index_ != npos) stripe(index_).clear(std::memory_order_release);
+        }
+        stripe_lock(const stripe_lock&) = delete;
+        stripe_lock& operator=(const stripe_lock&) = delete;
+
+      private:
+        std::size_t index_;
+    };
+};
+
+}  // namespace lfrc::dcas

@@ -1,0 +1,321 @@
+// Lock-free DCAS emulation: Harris-style RDCSS + 2-entry MCAS.
+//
+// This engine realizes the hardware DCAS the paper assumes (§1, citing the
+// 68020 CAS2) in portable C++ atomics, preserving lock-free progress:
+//
+//  * dcas(a0,a1,o0,o1,n0,n1) builds an MCAS descriptor with its two entries
+//    sorted by cell address, then "helps" it to completion. Installation of
+//    the descriptor into each cell is mediated by RDCSS (restricted
+//    double-compare single-swap), which atomically checks that the MCAS is
+//    still UNDECIDED while swapping the descriptor in. Once both entries
+//    hold the descriptor the status is CASed to SUCCEEDED; otherwise to
+//    FAILED; phase 2 unrolls each entry to the new (or old) value.
+//  * Any thread that encounters a descriptor while reading or CASing a cell
+//    helps it finish first — that is where lock-freedom comes from: a
+//    stalled operation can always be completed by its obstructor.
+//
+// Descriptors are pool-allocated per operation and reclaimed through the
+// global epoch domain: a helper dereferences a descriptor pointer it pulled
+// out of a cell, so descriptors must survive — and their storage must not be
+// reused — until every thread that might have seen them has left its
+// critical section. Every public entry point pins an epoch guard for its
+// whole duration.
+//
+// The address-ordering of entries prevents two overlapping DCAS operations
+// from installing in opposite orders and repeatedly aborting each other.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/block_pool.hpp"
+#include "dcas/cell.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfrc::dcas {
+
+class mcas_engine {
+  public:
+    static const char* name() noexcept { return "mcas"; }
+
+    /// Observability counters (relaxed; for tests and benchmarks).
+    struct counters {
+        std::atomic<std::uint64_t> dcas_started{0};
+        std::atomic<std::uint64_t> dcas_succeeded{0};
+        std::atomic<std::uint64_t> helps{0};  // descriptor completions by non-owners
+    };
+
+    static counters& stats() noexcept {
+        static counters c;
+        return c;
+    }
+
+    static std::uint64_t read(cell& c) {
+        reclaim::epoch_domain::guard g(domain());
+        return read_pinned(c);
+    }
+
+    static bool cas(cell& c, std::uint64_t expected, std::uint64_t desired) {
+        assert(is_clean_value(expected) && is_clean_value(desired));
+        reclaim::epoch_domain::guard g(domain());
+        for (;;) {
+            std::uint64_t cur = c.raw().load(std::memory_order_seq_cst);
+            if (is_rdcss(cur) || is_mcas(cur)) {
+                resolve(c, cur);
+                continue;
+            }
+            if (cur != expected) return false;
+            if (c.raw().compare_exchange_strong(cur, desired, std::memory_order_seq_cst)) {
+                return true;
+            }
+            // cur reloaded by the failed CAS; loop classifies it again.
+        }
+    }
+
+    static bool dcas(cell& c0, cell& c1, std::uint64_t o0, std::uint64_t o1,
+                     std::uint64_t n0, std::uint64_t n1) {
+        assert(&c0 != &c1 && "DCAS on one cell twice is not defined");
+        assert(is_clean_value(o0) && is_clean_value(o1));
+        assert(is_clean_value(n0) && is_clean_value(n1));
+        reclaim::epoch_domain::guard g(domain());
+        stats().dcas_started.fetch_add(1, std::memory_order_relaxed);
+
+        auto* d = ::new (mcas_pool::allocate()) mcas_descriptor;
+        d->entry_count = 2;
+        if (&c0 < &c1) {
+            d->entries[0] = {&c0, o0, n0};
+            d->entries[1] = {&c1, o1, n1};
+        } else {
+            d->entries[0] = {&c1, o1, n1};
+            d->entries[1] = {&c0, o0, n0};
+        }
+        const bool ok = mcas_help(d, /*is_owner=*/true);
+        domain().retire(d, [](void* p) { mcas_pool::deallocate(p); });
+        if (ok) stats().dcas_succeeded.fetch_add(1, std::memory_order_relaxed);
+        return ok;
+    }
+
+    /// Generalized N-word CAS (Harris's full MCAS), N <= max_casn. The
+    /// paper only needs N == 2, but the descriptor machinery generalizes
+    /// for free and other DCAS-hungry algorithms want 3-4 words. Targets
+    /// must be distinct cells; values must be clean (untagged).
+    static constexpr std::size_t max_casn = 4;
+
+    struct casn_op {
+        cell* target;
+        std::uint64_t expected;
+        std::uint64_t desired;
+    };
+
+    static bool casn(casn_op* ops, std::size_t n) {
+        assert(n >= 1 && n <= max_casn);
+        if (n == 1) return cas(*ops[0].target, ops[0].expected, ops[0].desired);
+        reclaim::epoch_domain::guard g(domain());
+        auto* d = ::new (mcas_pool::allocate()) mcas_descriptor;
+        d->entry_count = static_cast<std::uint32_t>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            assert(is_clean_value(ops[i].expected) && is_clean_value(ops[i].desired));
+            d->entries[i] = {ops[i].target, ops[i].expected, ops[i].desired};
+        }
+        // Address-order the entries (insertion sort; n <= 4) so overlapping
+        // operations install in a consistent order.
+        for (std::uint32_t i = 1; i < d->entry_count; ++i) {
+            auto key = d->entries[i];
+            std::uint32_t j = i;
+            for (; j > 0 && key.addr < d->entries[j - 1].addr; --j) {
+                d->entries[j] = d->entries[j - 1];
+            }
+            d->entries[j] = key;
+        }
+        for (std::uint32_t i = 1; i < d->entry_count; ++i) {
+            assert(d->entries[i].addr != d->entries[i - 1].addr &&
+                   "casn targets must be distinct");
+        }
+        const bool ok = mcas_help(d, /*is_owner=*/true);
+        domain().retire(d, [](void* p) { mcas_pool::deallocate(p); });
+        return ok;
+    }
+
+  private:
+    enum : std::uint64_t {
+        status_undecided = 0,
+        status_succeeded = 1,
+        status_failed = 2,
+    };
+
+    struct mcas_descriptor {
+        struct entry {
+            cell* addr;
+            std::uint64_t old_val;
+            std::uint64_t new_val;
+        };
+        std::atomic<std::uint64_t> status{status_undecided};
+        std::uint32_t entry_count = 0;
+        entry entries[4] = {};
+    };
+
+    struct rdcss_descriptor {
+        mcas_descriptor* md;  // control: proceed only while md->status is UNDECIDED
+        cell* a2;
+        std::uint64_t o2;     // expected data value; n2 is the tagged md
+    };
+
+    static_assert(sizeof(mcas_descriptor) <= 112, "mcas_pool block size too small");
+    static_assert(sizeof(rdcss_descriptor) <= 24, "rdcss_pool block size too small");
+
+    static reclaim::epoch_domain& domain() { return reclaim::epoch_domain::global(); }
+
+    // Descriptors are recycled through untracked type-stable pools with a
+    // thread-local front cache: the epoch grace period guarantees no helper
+    // still holds a pointer when a descriptor's storage is reused, and
+    // descriptor traffic stays out of the application's allocation
+    // statistics. (Both descriptor types are trivially destructible, so
+    // deallocate-without-destructor is sound.)
+    //
+    // The backing pools are intentionally leaked: epoch deleters can run
+    // during static destruction (domain drain at exit), which must not race
+    // the pools' teardown. The OS reclaims the pages.
+    template <std::size_t Size>
+    class cached_pool {
+      public:
+        static void* allocate() {
+            auto& cache = local_cache();
+            if (!cache.items.empty()) {
+                void* p = cache.items.back();
+                cache.items.pop_back();
+                return p;
+            }
+            return backing().allocate();
+        }
+        static void deallocate(void* p) noexcept {
+            auto& cache = local_cache();
+            if (cache.items.size() < 256) {
+                cache.items.push_back(p);
+            } else {
+                backing().deallocate(p);
+            }
+        }
+
+      private:
+        struct cache_t {
+            std::vector<void*> items;
+            ~cache_t() {
+                for (void* p : items) backing().deallocate(p);  // spill at thread exit
+            }
+        };
+        static cache_t& local_cache() {
+            thread_local cache_t cache;
+            return cache;
+        }
+        static alloc::block_pool<Size>& backing() {
+            static auto* pool = new alloc::block_pool<Size>{/*track_stats=*/false};
+            return *pool;
+        }
+    };
+
+    using mcas_pool = cached_pool<112>;
+    using rdcss_pool = cached_pool<24>;
+
+    static std::uint64_t tag(const rdcss_descriptor* d) noexcept {
+        return reinterpret_cast<std::uint64_t>(d) | tag_rdcss;
+    }
+    static std::uint64_t tag(const mcas_descriptor* d) noexcept {
+        return reinterpret_cast<std::uint64_t>(d) | tag_mcas;
+    }
+    static rdcss_descriptor* untag_rdcss(std::uint64_t v) noexcept {
+        return reinterpret_cast<rdcss_descriptor*>(v & ~tag_mask);
+    }
+    static mcas_descriptor* untag_mcas(std::uint64_t v) noexcept {
+        return reinterpret_cast<mcas_descriptor*>(v & ~tag_mask);
+    }
+
+    /// Helps whatever descriptor occupies the cell. Caller must be pinned.
+    static void resolve(cell& c, std::uint64_t observed) {
+        if (is_rdcss(observed)) {
+            stats().helps.fetch_add(1, std::memory_order_relaxed);
+            rdcss_complete(untag_rdcss(observed));
+        } else {
+            mcas_help(untag_mcas(observed), /*is_owner=*/false);
+        }
+        (void)c;
+    }
+
+    static std::uint64_t read_pinned(cell& c) {
+        for (;;) {
+            const std::uint64_t v = c.raw().load(std::memory_order_seq_cst);
+            if (!is_rdcss(v) && !is_mcas(v)) return v;
+            resolve(c, v);
+        }
+    }
+
+    /// Finish an installed RDCSS: if the MCAS is still undecided, promote
+    /// the cell to the MCAS descriptor; otherwise restore the data value.
+    static void rdcss_complete(rdcss_descriptor* rd) {
+        const std::uint64_t s = rd->md->status.load(std::memory_order_seq_cst);
+        const std::uint64_t desired = (s == status_undecided) ? tag(rd->md) : rd->o2;
+        std::uint64_t expected = tag(rd);
+        rd->a2->raw().compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+    }
+
+    /// Attempt the RDCSS; returns the data value that was in *a2 (o2 on
+    /// success), or a tagged MCAS value if one blocks the cell.
+    static std::uint64_t rdcss_install(rdcss_descriptor* rd) {
+        for (;;) {
+            std::uint64_t expected = rd->o2;
+            if (rd->a2->raw().compare_exchange_strong(expected, tag(rd),
+                                                      std::memory_order_seq_cst)) {
+                rdcss_complete(rd);
+                return rd->o2;
+            }
+            if (is_rdcss(expected)) {
+                rdcss_complete(untag_rdcss(expected));
+                continue;  // cell now holds a data value or an MCAS tag
+            }
+            return expected;  // plain mismatch or an MCAS descriptor
+        }
+    }
+
+    static bool mcas_help(mcas_descriptor* d, bool is_owner) {
+        if (!is_owner) stats().helps.fetch_add(1, std::memory_order_relaxed);
+        if (d->status.load(std::memory_order_seq_cst) == status_undecided) {
+            // Phase 1: install d into each entry, in address order.
+            std::uint64_t decided = status_succeeded;
+            for (std::uint32_t i = 0; i < d->entry_count; ++i) {
+                auto& e = d->entries[i];
+                bool entry_done = false;
+                while (!entry_done) {
+                    auto* rd =
+                        ::new (rdcss_pool::allocate()) rdcss_descriptor{d, e.addr, e.old_val};
+                    const std::uint64_t v = rdcss_install(rd);
+                    domain().retire(rd, [](void* p) { rdcss_pool::deallocate(p); });
+                    if (v == e.old_val || v == tag(d)) {
+                        entry_done = true;  // installed here, or by another helper
+                    } else if (is_mcas(v)) {
+                        mcas_help(untag_mcas(v), /*is_owner=*/false);
+                    } else {
+                        decided = status_failed;  // genuine value mismatch
+                        entry_done = true;
+                    }
+                }
+                if (decided == status_failed) break;
+                if (d->status.load(std::memory_order_seq_cst) != status_undecided) break;
+            }
+            std::uint64_t expected = status_undecided;
+            d->status.compare_exchange_strong(expected, decided, std::memory_order_seq_cst);
+        }
+        // Phase 2: unroll entries to their final values.
+        const bool succeeded =
+            d->status.load(std::memory_order_seq_cst) == status_succeeded;
+        for (std::uint32_t i = 0; i < d->entry_count; ++i) {
+            auto& e = d->entries[i];
+            std::uint64_t expected = tag(d);
+            e.addr->raw().compare_exchange_strong(
+                expected, succeeded ? e.new_val : e.old_val, std::memory_order_seq_cst);
+        }
+        return succeeded;
+    }
+};
+
+}  // namespace lfrc::dcas

@@ -1,0 +1,226 @@
+// Toy stop-the-world mark-sweep garbage collector.
+//
+// Why this exists: the paper's §3/§4 recipe *starts from* a GC-dependent
+// implementation, and its §1 motivation cites the costs of real collectors
+// (stop-the-world pauses, non-lock-free overall systems). The GC-dependent
+// Snark cannot use retire-on-unlink reclamation — popped nodes linger as
+// reachable sentinels — so it genuinely needs reachability-based collection.
+// This heap supplies that environment, and experiment E8 measures the pauses
+// it inflicts versus LFRC's pause-free reclamation.
+//
+// Model:
+//  * Objects are allocated with `allocate<T>()`; T provides
+//    `template gc_trace(marker&) const` (or a gc_traits<T> specialization)
+//    that marks every child pointer.
+//  * Mutator threads attach with an `attach_scope` and must poll
+//    `safepoint()` regularly; a thread that blocks indefinitely without
+//    polling deadlocks the collector — by design, this is the classic STW
+//    contract.
+//  * Roots are (a) registered global root providers and (b) `gc::local<T>`
+//    shadow-stack variables of attached threads.
+//  * Collection is triggered by an allocation threshold or `collect_now()`,
+//    runs on the triggering mutator's thread, stops the world, marks, and
+//    sweeps. Pause durations are recorded for E8.
+//
+// Concurrency contract for shared pointer fields in GC'd objects: use
+// dcas::cell with the *locked* engine (or plain atomics). During a
+// collection every mutator is parked at a safepoint, i.e. outside any engine
+// operation, so cells always hold clean (untagged) values when traced.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "dcas/cell.hpp"
+#include "util/histogram.hpp"
+#include "util/thread_registry.hpp"
+
+namespace lfrc::gc {
+
+class heap;
+class marker;
+
+/// Customization point: how to find the child pointers of a T.
+/// Default: call the member `t.gc_trace(m)`.
+template <typename T>
+struct gc_traits {
+    static void trace(const T& t, marker& m) { t.gc_trace(m); }
+};
+
+class marker {
+  public:
+    /// Mark a payload pointer (may be null) and queue it for tracing.
+    void mark(const void* payload);
+
+    /// Mark the pointer stored in a shared cell. The cell must hold a clean
+    /// value (see the engine contract in the header comment).
+    void mark_cell(const dcas::cell& c);
+
+    template <typename T>
+    void mark_ptr(const T* p) {
+        mark(static_cast<const void*>(p));
+    }
+
+  private:
+    friend class heap;
+    explicit marker(heap& h) : heap_(h) {}
+    void drain();
+
+    heap& heap_;
+    std::vector<void*> work_;  // payload pointers pending trace
+};
+
+class heap {
+  public:
+    struct gc_stats {
+        std::uint64_t collections = 0;
+        std::uint64_t objects_freed = 0;
+        std::uint64_t objects_live = 0;
+        std::uint64_t bytes_live = 0;
+        std::uint64_t max_pause_ns = 0;
+        util::latency_histogram pauses;
+    };
+
+    explicit heap(std::size_t collect_threshold_bytes = 1 << 20);
+    ~heap();
+    heap(const heap&) = delete;
+    heap& operator=(const heap&) = delete;
+
+    /// RAII registration of the calling thread as a mutator of this heap.
+    class attach_scope {
+      public:
+        explicit attach_scope(heap& h);
+        ~attach_scope();
+        attach_scope(const attach_scope&) = delete;
+        attach_scope& operator=(const attach_scope&) = delete;
+
+      private:
+        heap& heap_;
+        std::size_t slot_;
+    };
+
+    /// Must be polled regularly by attached threads; parks while a
+    /// collection is in progress.
+    void safepoint();
+
+    /// Allocate a collected object. Caller must be attached.
+    template <typename T, typename... Args>
+    T* allocate(Args&&... args) {
+        void* payload = allocate_raw(
+            sizeof(T),
+            [](const void* p, marker& m) { gc_traits<T>::trace(*static_cast<const T*>(p), m); },
+            [](void* p) { static_cast<T*>(p)->~T(); });
+        return ::new (payload) T(std::forward<Args>(args)...);
+    }
+
+    /// Register a global-roots callback (call before mutator threads start).
+    void add_root(std::function<void(marker&)> provider);
+
+    /// Force a full collection from an attached thread.
+    void collect_now();
+
+    gc_stats stats();
+
+    std::uint64_t live_objects() const noexcept {
+        return live_objects_.load(std::memory_order_acquire);
+    }
+    std::uint64_t live_bytes() const noexcept {
+        return live_bytes_.load(std::memory_order_acquire);
+    }
+
+  private:
+    friend class marker;
+
+    struct object_header {
+        object_header* next;
+        void (*trace_fn)(const void*, marker&);
+        void (*destroy_fn)(void*);
+        std::size_t payload_size;
+        bool marked;
+    };
+    static constexpr std::size_t header_bytes =
+        (sizeof(object_header) + alignof(std::max_align_t) - 1) /
+        alignof(std::max_align_t) * alignof(std::max_align_t);
+
+    struct thread_record {
+        bool attached = false;
+        // Shadow stack of this thread's gc::local<T> variables.
+        std::vector<void* const*> roots;
+    };
+
+    static object_header* header_of(const void* payload) noexcept {
+        return reinterpret_cast<object_header*>(
+            reinterpret_cast<char*>(const_cast<void*>(payload)) - header_bytes);
+    }
+    static void* payload_of(object_header* h) noexcept {
+        return reinterpret_cast<char*>(h) + header_bytes;
+    }
+
+    void* allocate_raw(std::size_t payload_size, void (*trace_fn)(const void*, marker&),
+                       void (*destroy_fn)(void*));
+    void collect_locked();  // requires gc_mutex_ held, caller attached
+    void free_object(object_header* h);
+
+    // Shadow-stack registration used by gc::local<T>.
+    template <typename T>
+    friend class local;
+    void push_root(void* const* slot);
+    void pop_root();
+
+    const std::size_t threshold_bytes_;
+
+    std::atomic<object_header*> all_objects_{nullptr};
+    std::atomic<std::uint64_t> live_objects_{0};
+    std::atomic<std::uint64_t> live_bytes_{0};
+    std::atomic<std::uint64_t> bytes_since_gc_{0};
+
+    std::atomic<bool> gc_request_{false};
+    std::mutex gc_mutex_;            // one collection at a time
+    std::mutex park_mutex_;          // protects counts + cv
+    std::condition_variable park_cv_;
+    std::size_t attached_count_ = 0;
+    std::size_t parked_count_ = 0;
+
+    thread_record threads_[util::thread_registry::max_threads];
+
+    std::mutex roots_mutex_;
+    std::vector<std::function<void(marker&)>> global_roots_;
+
+    std::mutex stats_mutex_;
+    gc_stats stats_;
+};
+
+/// Shadow-stack root: a local pointer variable the collector can see.
+/// Strictly scoped (LIFO) within the owning thread.
+template <typename T>
+class local {
+  public:
+    explicit local(heap& h, T* initial = nullptr) : heap_(h), ptr_(initial) {
+        heap_.push_root(reinterpret_cast<void* const*>(&ptr_));
+    }
+    ~local() { heap_.pop_root(); }
+    local(const local&) = delete;
+    local& operator=(const local&) = delete;
+
+    local& operator=(T* p) noexcept {
+        ptr_ = p;
+        return *this;
+    }
+    T* get() const noexcept { return ptr_; }
+    T* operator->() const noexcept { return ptr_; }
+    T& operator*() const noexcept { return *ptr_; }
+    explicit operator bool() const noexcept { return ptr_ != nullptr; }
+
+  private:
+    heap& heap_;
+    T* ptr_;
+};
+
+}  // namespace lfrc::gc

@@ -1,0 +1,33 @@
+// Observability counters for the LFRC core: every reference-count increment
+// and decrement, object construction and destruction. Tests use them to
+// check the paper's weakened refcount invariants (§1); benchmarks report
+// them as sanity columns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfrc {
+
+struct domain_counters {
+    std::atomic<std::uint64_t> increments{0};
+    std::atomic<std::uint64_t> decrements{0};
+    std::atomic<std::uint64_t> objects_created{0};
+    std::atomic<std::uint64_t> objects_destroyed{0};
+
+    struct snapshot_t {
+        std::uint64_t increments;
+        std::uint64_t decrements;
+        std::uint64_t objects_created;
+        std::uint64_t objects_destroyed;
+    };
+
+    snapshot_t snapshot() const noexcept {
+        return {increments.load(std::memory_order_relaxed),
+                decrements.load(std::memory_order_relaxed),
+                objects_created.load(std::memory_order_relaxed),
+                objects_destroyed.load(std::memory_order_relaxed)};
+    }
+};
+
+}  // namespace lfrc

@@ -1,0 +1,175 @@
+// Occasional cycle collection — the second §7 extension:
+//
+//   "Another example is to integrate a tracing collector that can be invoked
+//    occasionally in order to identify and collect cyclic garbage."
+//
+// LFRC's §2.1 "Cycle-Free Garbage" criterion exists because the counts of
+// nodes on a dead cycle never reach zero (§3 step 3). This collector lifts
+// the restriction for applications that cannot guarantee it: they register
+// *suspects* — objects whose structure may participate in cycles — and
+// occasionally run a trial-deletion pass (in the spirit of Bacon & Rajan's
+// synchronous Recycler) that reclaims exactly the subgraphs kept alive only
+// by internal references.
+//
+// Concurrency contract: `suspect()` may be called from any thread (it takes
+// a +1 on the object, so suspects stay valid); `collect()` requires
+// QUIESCENCE — no other thread touching objects reachable from suspects —
+// because it reads fields and counts non-atomically as a snapshot. This
+// matches the paper's sketch of an *occasionally invoked* tracing pass, not
+// a concurrent collector.
+//
+// Algorithm per collect():
+//   1. snapshot the subgraph reachable from the (deduplicated) suspects;
+//   2. count, for every node in the snapshot, how many references reach it
+//      from inside the snapshot (internal edges) and from this collector's
+//      own suspect pins;
+//   3. nodes with rc > internal + pins have external referents: mark them
+//      and everything they reach as live;
+//   4. everything else is cyclic garbage: for each such node, drop its
+//      edges to live nodes via ordinary LFRCDestroy semantics and retire it
+//      without touching edges to fellow garbage;
+//   5. release the suspect pins on survivors normally.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc {
+
+template <typename Domain>
+class cycle_collector {
+  public:
+    using object = typename Domain::object;
+
+    cycle_collector() = default;
+    cycle_collector(const cycle_collector&) = delete;
+    cycle_collector& operator=(const cycle_collector&) = delete;
+
+    ~cycle_collector() {
+        // Unprocessed suspect pins are released; cycles they held stay
+        // uncollected (the caller chose not to run collect()).
+        std::lock_guard lock(suspects_mutex_);
+        for (object* s : suspects_) Domain::destroy(s);
+    }
+
+    /// Register a potential cycle root. Thread-safe. Takes a +1 so the
+    /// suspect cannot disappear before the next collect().
+    void suspect(object* p) {
+        if (p == nullptr) return;
+        Domain::add_to_rc(p, 1);
+        std::lock_guard lock(suspects_mutex_);
+        suspects_.push_back(p);
+    }
+
+    std::size_t suspect_count() const {
+        std::lock_guard lock(suspects_mutex_);
+        return suspects_.size();
+    }
+
+    /// Trial-deletion pass. QUIESCENT-ONLY. Returns objects reclaimed.
+    std::size_t collect() {
+        std::vector<object*> suspects;
+        {
+            std::lock_guard lock(suspects_mutex_);
+            suspects.swap(suspects_);
+        }
+        if (suspects.empty()) return 0;
+
+        // Pin multiplicity per object (the same object may be suspected
+        // repeatedly; each suspicion added one count).
+        std::unordered_map<object*, std::uint64_t> pins;
+        for (object* s : suspects) ++pins[s];
+
+        // 1. Snapshot the reachable subgraph and count internal edges.
+        std::unordered_map<object*, std::uint64_t> internal;
+        std::unordered_set<object*> visited;
+        {
+            std::vector<object*> stack;
+            for (auto& [s, n] : pins) {
+                if (visited.insert(s).second) stack.push_back(s);
+            }
+            while (!stack.empty()) {
+                object* cur = stack.back();
+                stack.pop_back();
+                for (object* child : children_of(cur)) {
+                    ++internal[child];
+                    if (visited.insert(child).second) stack.push_back(child);
+                }
+            }
+        }
+
+        // 2./3. Externally referenced nodes seed the live set.
+        std::unordered_set<object*> live;
+        {
+            std::vector<object*> stack;
+            for (object* v : visited) {
+                const std::uint64_t pinned = pins.count(v) ? pins[v] : 0;
+                const std::uint64_t inside =
+                    (internal.count(v) ? internal[v] : 0) + pinned;
+                if (v->ref_count() > inside) {
+                    if (live.insert(v).second) stack.push_back(v);
+                }
+            }
+            while (!stack.empty()) {
+                object* cur = stack.back();
+                stack.pop_back();
+                for (object* child : children_of(cur)) {
+                    if (visited.count(child) != 0 && live.insert(child).second) {
+                        stack.push_back(child);
+                    }
+                }
+            }
+        }
+
+        // 4. Reclaim the dead subgraph.
+        std::size_t reclaimed = 0;
+        struct sink final : Domain::child_visitor {
+            std::vector<object*> children;
+            void on_child(object* child) override {
+                if (child != nullptr) children.push_back(child);
+            }
+        } collected;
+        for (object* v : visited) {
+            if (live.count(v) != 0) continue;
+            collected.children.clear();
+            Domain::collect_children_and_retire(v, collected);
+            ++reclaimed;
+            for (object* child : collected.children) {
+                // Edges into fellow garbage die with the subgraph; edges to
+                // live nodes give their counts back normally.
+                const bool child_is_garbage =
+                    visited.count(child) != 0 && live.count(child) == 0;
+                if (!child_is_garbage) Domain::destroy(child);
+            }
+        }
+
+        // 5. Release pins on survivors.
+        for (auto& [s, n] : pins) {
+            if (live.count(s) == 0) continue;  // pin died with the garbage
+            for (std::uint64_t i = 0; i < n; ++i) Domain::destroy(s);
+        }
+        return reclaimed;
+    }
+
+  private:
+    std::vector<object*> children_of(object* p) {
+        struct sink final : Domain::child_visitor {
+            std::vector<object*> children;
+            void on_child(object* child) override {
+                if (child != nullptr) children.push_back(child);
+            }
+        } s;
+        Domain::visit_children_quiescent(p, s);
+        return std::move(s.children);
+    }
+
+    mutable std::mutex suspects_mutex_;
+    std::vector<object*> suspects_;
+};
+
+}  // namespace lfrc

@@ -1,0 +1,115 @@
+// Incremental destruction — the first §7 extension:
+//
+//   "One obvious example is to apply techniques that allow large structures
+//    to be collected incrementally. This would avoid long delays when a
+//    thread destroys the last pointer to a large structure."
+//
+// `incremental_destroyer<Domain>` is a drop-in alternative to
+// Domain::destroy: when a count reaches zero the object is parked on a
+// lock-free pending stack instead of being torn down transitively, and
+// `step(budget)` processes at most `budget` garbage objects per call —
+// children whose counts hit zero re-enter the pending stack. Any thread may
+// call step(); work distributes naturally.
+//
+// Experiment E7 measures the effect: tearing down a million-node list with
+// Domain::destroy is one multi-millisecond stall; with the destroyer the
+// same work is spread over bounded slices.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc {
+
+template <typename Domain>
+class incremental_destroyer {
+  public:
+    using object = typename Domain::object;
+
+    incremental_destroyer() = default;
+    incremental_destroyer(const incremental_destroyer&) = delete;
+    incremental_destroyer& operator=(const incremental_destroyer&) = delete;
+
+    /// Drains everything still pending (quiescence expected by then).
+    ~incremental_destroyer() {
+        while (step(1024) != 0) {}
+    }
+
+    /// LFRCDestroy, deferred: decrement now, tear down later.
+    void destroy(object* p) {
+        if (p == nullptr) return;
+        if (Domain::add_to_rc(p, -1) == 1) park(p);
+    }
+
+    /// Process up to `budget` garbage objects; returns how many were freed.
+    /// Lock-free; concurrent callers share the backlog.
+    std::size_t step(std::size_t budget) {
+        struct sink final : Domain::child_visitor {
+            std::vector<object*> children;
+            void on_child(object* child) override {
+                if (child != nullptr) children.push_back(child);
+            }
+        } collected;
+
+        std::size_t done = 0;
+        while (done < budget) {
+            object* garbage = try_pop();
+            if (garbage == nullptr) break;
+            collected.children.clear();
+            Domain::collect_children_and_retire(garbage, collected);
+            ++done;
+            for (object* child : collected.children) {
+                if (Domain::add_to_rc(child, -1) == 1) park(child);
+            }
+        }
+        return done;
+    }
+
+    /// Garbage objects awaiting teardown (approximate under concurrency).
+    std::size_t pending() const noexcept {
+        return pending_count_.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct pending_node {
+        pending_node* next;
+        object* garbage;
+    };
+
+    void park(object* p) {
+        auto* node = new pending_node{nullptr, p};
+        pending_node* head = head_.load(std::memory_order_relaxed);
+        do {
+            node->next = head;
+        } while (!head_.compare_exchange_weak(head, node, std::memory_order_acq_rel));
+        pending_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    object* try_pop() {
+        // Single-consumer-at-a-time pop via whole-stack steal would be
+        // overkill; a guarded Treiber pop suffices because pending_nodes are
+        // reclaimed through the epoch domain (same ABA discipline as
+        // everything else here).
+        reclaim::epoch_domain::guard pin(reclaim::epoch_domain::global());
+        for (;;) {
+            pending_node* head = head_.load(std::memory_order_acquire);
+            if (head == nullptr) return nullptr;
+            pending_node* next = head->next;
+            if (head_.compare_exchange_strong(head, next, std::memory_order_acq_rel)) {
+                object* garbage = head->garbage;
+                reclaim::epoch_domain::global().retire(
+                    head, [](void* p) { delete static_cast<pending_node*>(p); });
+                pending_count_.fetch_sub(1, std::memory_order_relaxed);
+                return garbage;
+            }
+        }
+    }
+
+    std::atomic<pending_node*> head_{nullptr};
+    std::atomic<std::size_t> pending_count_{0};
+};
+
+}  // namespace lfrc

@@ -1,0 +1,37 @@
+// Umbrella header for the LFRC library.
+//
+//   #include "lfrc/lfrc.hpp"
+//   using dom = lfrc::domain;              // lock-free MCAS-backed domain
+//   struct node : dom::object { ... };
+//   dom::local_ptr<node> p = dom::make<node>(...);
+//
+// See README.md for the full tour and src/lfrc/domain.hpp for the
+// operation-by-operation mapping to the paper.
+#pragma once
+
+#include "dcas/locked_engine.hpp"
+#include "dcas/mcas_engine.hpp"
+#include "lfrc/counters.hpp"
+#include "lfrc/domain.hpp"
+#include "lfrc/paper_api.hpp"
+
+namespace lfrc {
+
+/// The default domain: lock-free DCAS emulation.
+using domain = basic_domain<dcas::mcas_engine>;
+
+/// Blocking-emulation domain; differential-testing oracle and E3 baseline.
+using locked_domain = basic_domain<dcas::locked_engine>;
+
+/// Drive the deferred physical frees to completion. Call at quiescence
+/// (tests, footprint sampling) — concurrent use is safe but may not reach
+/// zero while other threads pin epochs.
+inline void flush_deferred_frees(int rounds = 16) {
+    auto& domain_ref = reclaim::epoch_domain::global();
+    for (int i = 0; i < rounds && domain_ref.pending() != 0; ++i) {
+        domain_ref.try_advance();
+        domain_ref.drain_all();
+    }
+}
+
+}  // namespace lfrc

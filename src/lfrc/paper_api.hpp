@@ -1,0 +1,84 @@
+// Paper-literal facade: the exact operation names of Figure 2 / Section 2.2,
+// expressed over a basic_domain. Exists for fidelity — library code should
+// prefer the domain's snake_case operations — and is what
+// tests/test_paper_api.cpp exercises line-by-line against Figure 2.
+//
+// Signatures follow the paper's conventions: `A` is a pointer to a shared
+// location containing a pointer; `p` is a pointer to a local pointer
+// variable; `v`/`old*`/`new*` are pointer values.
+#pragma once
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc {
+
+template <typename Domain>
+struct paper_api {
+    template <typename T>
+    using shared_t = typename Domain::template ptr_field<T>;
+    template <typename T>
+    using local_t = typename Domain::template local_ptr<T>;
+
+    /// LFRCLoad(A, p): load the value from *A into *p.
+    template <typename T>
+    static void LFRCLoad(shared_t<T>* A, local_t<T>* p) {
+        Domain::load(*A, *p);
+    }
+
+    /// LFRCStore(A, v): store pointer value v into *A.
+    template <typename T>
+    static void LFRCStore(shared_t<T>* A, const local_t<T>& v) {
+        Domain::store(*A, v.get());
+    }
+
+    template <typename T>
+    static void LFRCStore(shared_t<T>* A, T* v) {
+        Domain::store(*A, v);
+    }
+
+    /// LFRCStoreAlloc(A, new T): like LFRCStore but does not increment the
+    /// count of the (freshly allocated) object — Figure 1, line 35.
+    template <typename T>
+    static void LFRCStoreAlloc(shared_t<T>* A, local_t<T>&& fresh) {
+        Domain::store_alloc(*A, std::move(fresh));
+    }
+
+    /// LFRCCopy(p, v): assign pointer value v to the local variable *p.
+    template <typename T>
+    static void LFRCCopy(local_t<T>* p, const local_t<T>& v) {
+        Domain::copy(*p, v.get());
+    }
+
+    template <typename T>
+    static void LFRCCopy(local_t<T>* p, T* v) {
+        Domain::copy(*p, v);
+    }
+
+    /// LFRCDestroy(v...): destroy local pointer value(s) about to go away.
+    /// "A call with multiple arguments is shorthand for one call per
+    /// argument" (Figure 1 caption).
+    template <typename... Ts>
+    static void LFRCDestroy(Ts*... vs) {
+        Domain::destroy_all(vs...);
+    }
+
+    /// LFRCCAS(A0, old0, new0): the obvious simplification of LFRCDCAS.
+    template <typename T>
+    static bool LFRCCAS(shared_t<T>* A0, T* old0, T* new0) {
+        return Domain::cas(*A0, old0, new0);
+    }
+
+    /// LFRCDCAS(A0, A1, old0, old1, new0, new1).
+    template <typename T, typename U>
+    static bool LFRCDCAS(shared_t<T>* A0, shared_t<U>* A1, T* old0, U* old1, T* new0,
+                         U* new1) {
+        return Domain::dcas(*A0, *A1, old0, old1, new0, new1);
+    }
+
+    /// add_to_rc(p, v): atomic count adjustment; returns the old count.
+    static long add_to_rc(typename Domain::object* p, int v) {
+        return static_cast<long>(Domain::add_to_rc(p, v));
+    }
+};
+
+}  // namespace lfrc

@@ -1,0 +1,173 @@
+#include "reclaim/epoch.hpp"
+
+namespace lfrc::reclaim {
+
+namespace {
+constexpr std::uint64_t active_bit = 1;
+
+std::uint64_t make_state(std::uint64_t epoch) noexcept { return (epoch << 1) | active_bit; }
+bool state_active(std::uint64_t s) noexcept { return (s & active_bit) != 0; }
+std::uint64_t state_epoch(std::uint64_t s) noexcept { return s >> 1; }
+}  // namespace
+
+epoch_domain::~epoch_domain() {
+    // Destruction requires quiescence (no thread inside a guard, none will
+    // enter). Everything pending is then trivially past its grace period.
+    for (auto& padded_slot : slots_) {
+        retired_node* node = padded_slot->retired.exchange(nullptr, std::memory_order_acquire);
+        while (node != nullptr) {
+            retired_node* next = node->next;
+            node->deleter(node->object);
+            node_pool_.deallocate(node);
+            node = next;
+        }
+    }
+}
+
+auto epoch_domain::acquire_node() -> retired_node* {
+    // Single-consumer pop from the owner's free stack (only the owner pops,
+    // so the unsynchronized `next` read cannot see a recycled node).
+    slot_record& rec = *slots_[util::thread_registry::instance().slot()];
+    retired_node* head = rec.free_nodes.load(std::memory_order_acquire);
+    while (head != nullptr) {
+        if (rec.free_nodes.compare_exchange_weak(head, head->next,
+                                                 std::memory_order_acq_rel)) {
+            return head;
+        }
+    }
+    return static_cast<retired_node*>(node_pool_.allocate());
+}
+
+void epoch_domain::release_node(retired_node* node) noexcept {
+    // Multi-producer push onto the releasing thread's own slot.
+    slot_record& rec = *slots_[util::thread_registry::instance().slot()];
+    retired_node* head = rec.free_nodes.load(std::memory_order_relaxed);
+    do {
+        node->next = head;
+    } while (!rec.free_nodes.compare_exchange_weak(head, node, std::memory_order_acq_rel));
+}
+
+std::uint64_t epoch_domain::pending() const noexcept {
+    std::int64_t total = 0;
+    const std::size_t high = util::thread_registry::instance().high_water();
+    for (std::size_t s = 0; s < high; ++s) {
+        total += slots_[s]->pending_delta.load(std::memory_order_acquire);
+    }
+    return total > 0 ? static_cast<std::uint64_t>(total) : 0;
+}
+
+epoch_domain& epoch_domain::global() {
+    // Intentionally leaked: retires (and their deleters) can happen during
+    // static destruction, which must never race the domain's own teardown.
+    static auto* domain = new epoch_domain;
+    return *domain;
+}
+
+void epoch_domain::enter() noexcept {
+    slot_record& rec = *slots_[util::thread_registry::instance().slot()];
+    if (rec.depth++ != 0) return;  // nested: already pinned
+    // Announce/validate loop: after this, our announced epoch is at most one
+    // behind the global epoch at every later instant (see header comment).
+    for (;;) {
+        const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+        rec.state.store(make_state(e), std::memory_order_seq_cst);
+        if (global_epoch_->load(std::memory_order_seq_cst) == e) return;
+    }
+}
+
+void epoch_domain::exit() noexcept {
+    slot_record& rec = *slots_[util::thread_registry::instance().slot()];
+    if (--rec.depth != 0) return;
+    rec.state.store(0, std::memory_order_release);
+}
+
+void epoch_domain::retire(void* object, void (*deleter)(void*)) {
+    const std::size_t slot = util::thread_registry::instance().slot();
+    retired_node* node = acquire_node();
+    node->next = nullptr;
+    node->epoch = global_epoch();
+    node->object = object;
+    node->deleter = deleter;
+    push_retired(slot, node);
+    slot_record& rec = *slots_[slot];
+    rec.pending_delta.fetch_add(1, std::memory_order_relaxed);
+    if (++rec.retires_since_scan >= scan_threshold) {
+        rec.retires_since_scan = 0;
+        reclaim_some(slot, /*force=*/false);
+    }
+}
+
+void epoch_domain::push_retired(std::size_t slot, retired_node* node) noexcept {
+    std::atomic<retired_node*>& head = slots_[slot]->retired;
+    retired_node* old_head = head.load(std::memory_order_relaxed);
+    do {
+        node->next = old_head;
+    } while (!head.compare_exchange_weak(old_head, node, std::memory_order_acq_rel));
+}
+
+void epoch_domain::push_retired_chain(std::size_t slot, retired_node* chain_head) noexcept {
+    retired_node* tail = chain_head;
+    while (tail->next != nullptr) tail = tail->next;
+    std::atomic<retired_node*>& head = slots_[slot]->retired;
+    retired_node* old_head = head.load(std::memory_order_relaxed);
+    do {
+        tail->next = old_head;
+    } while (!head.compare_exchange_weak(old_head, chain_head, std::memory_order_acq_rel));
+}
+
+bool epoch_domain::try_advance() noexcept {
+    const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+    const std::size_t high = util::thread_registry::instance().high_water();
+    for (std::size_t s = 0; s < high; ++s) {
+        const std::uint64_t st = slots_[s]->state.load(std::memory_order_seq_cst);
+        if (state_active(st) && state_epoch(st) != e) return false;
+    }
+    std::uint64_t expected = e;
+    return global_epoch_->compare_exchange_strong(expected, e + 1,
+                                                  std::memory_order_seq_cst);
+}
+
+auto epoch_domain::free_eligible(retired_node* head, std::uint64_t eligible_before)
+    -> retired_node* {
+    retired_node* survivors = nullptr;
+    while (head != nullptr) {
+        retired_node* next = head->next;
+        if (head->epoch < eligible_before) {
+            head->deleter(head->object);
+            release_node(head);
+            slots_[util::thread_registry::instance().slot()]->pending_delta.fetch_sub(
+                1, std::memory_order_relaxed);
+        } else {
+            head->next = survivors;
+            survivors = head;
+        }
+        head = next;
+    }
+    return survivors;
+}
+
+void epoch_domain::reclaim_some(std::size_t slot, bool force) {
+    try_advance();
+    const std::uint64_t g = global_epoch();
+    if (g < grace_epochs) return;
+    slot_record& rec = *slots_[slot];
+    if (!force && rec.last_scan_epoch.load(std::memory_order_relaxed) == g) {
+        return;  // nothing new can be eligible; avoid an O(pending) no-op walk
+    }
+    rec.last_scan_epoch.store(g, std::memory_order_relaxed);
+    retired_node* stolen = rec.retired.exchange(nullptr, std::memory_order_acq_rel);
+    retired_node* survivors = free_eligible(stolen, g - grace_epochs + 1);
+    // Re-home survivors (as one chain, one CAS) onto our own slot — we
+    // might be draining another thread's leftovers via drain_all.
+    if (survivors != nullptr) {
+        push_retired_chain(util::thread_registry::instance().slot(), survivors);
+    }
+}
+
+void epoch_domain::drain_all() {
+    try_advance();
+    const std::size_t high = util::thread_registry::instance().high_water();
+    for (std::size_t s = 0; s < high; ++s) reclaim_some(s, /*force=*/true);
+}
+
+}  // namespace lfrc::reclaim

@@ -1,0 +1,144 @@
+// Epoch-based reclamation (EBR).
+//
+// Two roles in this repo:
+//  1. A comparator reclamation scheme for the GC-dependent container
+//     baselines (experiment E5) — retire-on-unlink, free after a grace
+//     period.
+//  2. The recycler for the lock-free DCAS emulation's descriptors
+//     (dcas::mcas_engine): helpers may dereference a descriptor pointer
+//     found in a cell, so descriptors are freed only after every thread that
+//     could have seen that pointer has left its critical section.
+//
+// Protocol (classic three-epoch scheme):
+//  * A thread entering a critical section announces the current global
+//    epoch in its registry slot, then re-validates the global epoch
+//    (announce/validate loop). This bounds the lag of any active thread to
+//    at most one epoch behind the global.
+//  * try_advance() bumps the global epoch only when every active thread has
+//    announced the current one.
+//  * An object retired at epoch r is freed once global >= r + 3. (r + 2 is
+//    the textbook bound; the extra epoch is a deliberate safety margin —
+//    reclaiming later is always sound.)
+//
+// Retired objects go on per-slot lock-free Treiber stacks. Any thread may
+// *steal* a slot's whole stack with an atomic exchange, free the eligible
+// entries, and push the remainder onto its own stack — so nodes retired by
+// exited threads are eventually drained, and `drain_all()` lets quiescent
+// tests flush everything.
+//
+// Progress note (matches DESIGN.md §2): all operations here are lock-free,
+// but a thread parked *inside* a critical section stalls epoch advance and
+// therefore reclamation. Memory grows; nobody blocks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "alloc/block_pool.hpp"
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace lfrc::reclaim {
+
+class epoch_domain {
+  public:
+    epoch_domain() = default;
+    epoch_domain(const epoch_domain&) = delete;
+    epoch_domain& operator=(const epoch_domain&) = delete;
+    ~epoch_domain();
+
+    /// RAII critical-section pin. Re-entrant (nested guards are cheap).
+    class guard {
+      public:
+        explicit guard(epoch_domain& d) noexcept : domain_(d) { domain_.enter(); }
+        ~guard() { domain_.exit(); }
+        guard(const guard&) = delete;
+        guard& operator=(const guard&) = delete;
+
+      private:
+        epoch_domain& domain_;
+    };
+
+    void enter() noexcept;
+    void exit() noexcept;
+
+    /// Hand an unlinked object to the domain; `deleter(object)` runs after
+    /// the grace period. Must be called by a thread (typically inside a
+    /// guard, but that is not required for safety of the domain itself).
+    void retire(void* object, void (*deleter)(void*));
+
+    template <typename T>
+    void retire(T* object) {
+        retire(object, [](void* p) { delete static_cast<T*>(p); });
+    }
+
+    /// Attempt one epoch advance; returns true if the epoch moved.
+    bool try_advance() noexcept;
+
+    /// Drain every slot's retire stack as far as grace periods allow.
+    /// Safe concurrently; tests call it after joining worker threads
+    /// (repeatedly, interleaved with try_advance) to reach zero.
+    void drain_all();
+
+    std::uint64_t global_epoch() const noexcept {
+        return global_epoch_->load(std::memory_order_acquire);
+    }
+
+    /// Retired-but-not-yet-freed objects (approximate under concurrency).
+    std::uint64_t pending() const noexcept;
+
+    /// Domain used for MCAS descriptors and anything else process-wide.
+    static epoch_domain& global();
+
+  private:
+    struct retired_node {
+        retired_node* next;
+        std::uint64_t epoch;
+        void* object;
+        void (*deleter)(void*);
+    };
+
+    struct slot_record {
+        // Bit 0: active flag; bits 1..: announced epoch.
+        std::atomic<std::uint64_t> state{0};
+        // Owner-only nesting depth (never touched by other threads).
+        std::uint64_t depth = 0;
+        // Owner pushes; anyone may steal the whole stack via exchange.
+        std::atomic<retired_node*> retired{nullptr};
+        // Owner-only counter driving periodic reclamation.
+        std::uint64_t retires_since_scan = 0;
+        // Epoch at the last reclamation attempt (advisory; races with
+        // drain_all are harmless). If the global epoch has not moved since,
+        // nothing new can be eligible and the scan is skipped — without
+        // this, a peer parked inside a guard makes every scan an O(pending)
+        // walk that frees nothing (quadratic in the stall length).
+        std::atomic<std::uint64_t> last_scan_epoch{0};
+        // Free bookkeeping nodes: multi-producer (any drainer) push,
+        // single-consumer (owner) pop — keeps the hot retire path off the
+        // shared backing pool.
+        std::atomic<retired_node*> free_nodes{nullptr};
+        // Per-slot pending delta; pending() sums across slots. Avoids a
+        // process-wide contended counter on the retire path.
+        std::atomic<std::int64_t> pending_delta{0};
+    };
+
+    static constexpr std::uint64_t grace_epochs = 3;
+    static constexpr std::uint64_t scan_threshold = 64;
+
+    void push_retired(std::size_t slot, retired_node* node) noexcept;
+    void push_retired_chain(std::size_t slot, retired_node* chain_head) noexcept;
+    void reclaim_some(std::size_t slot, bool force);
+    /// Frees eligible entries of a stolen list; returns the survivors.
+    retired_node* free_eligible(retired_node* head, std::uint64_t eligible_before);
+    retired_node* acquire_node();
+    void release_node(retired_node* node) noexcept;
+
+    util::padded<std::atomic<std::uint64_t>> global_epoch_{std::uint64_t{1}};
+    // Internal bookkeeping nodes come from an untracked pool so the hot
+    // retire path performs no heap allocation and leak accounting stays
+    // application-only.
+    alloc::block_pool<sizeof(retired_node)> node_pool_{/*track_stats=*/false};
+    util::padded<slot_record> slots_[util::thread_registry::max_threads];
+};
+
+}  // namespace lfrc::reclaim

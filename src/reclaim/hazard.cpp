@@ -1,0 +1,105 @@
+#include "reclaim/hazard.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lfrc::reclaim {
+
+hazard_domain::~hazard_domain() {
+    // Requires quiescence, like epoch_domain::~epoch_domain.
+    for (auto& padded_slot : slots_) {
+        retired_node* node = padded_slot->retired.exchange(nullptr, std::memory_order_acquire);
+        while (node != nullptr) {
+            retired_node* next = node->next;
+            node->deleter(node->object);
+            delete node;
+            node = next;
+        }
+    }
+}
+
+hazard_domain& hazard_domain::global() {
+    static hazard_domain domain;
+    return domain;
+}
+
+hazard_domain::hp::hp(hazard_domain& d) : domain_(d) {
+    slot_record& rec = *d.slots_[util::thread_registry::instance().slot()];
+    for (std::size_t i = 0; i < slots_per_thread; ++i) {
+        if (!rec.in_use[i]) {
+            rec.in_use[i] = true;
+            index_ = i;
+            slot_ = &rec.hazards[i];
+            return;
+        }
+    }
+    std::fprintf(stderr, "lfrc: more than %zu live hazard pointers in one thread\n",
+                 slots_per_thread);
+    std::abort();
+}
+
+hazard_domain::hp::~hp() {
+    slot_->store(nullptr, std::memory_order_release);
+    slot_record& rec = *domain_.slots_[util::thread_registry::instance().slot()];
+    rec.in_use[index_] = false;
+}
+
+void hazard_domain::retire(void* object, void (*deleter)(void*)) {
+    const std::size_t slot = util::thread_registry::instance().slot();
+    auto* node = new retired_node{nullptr, object, deleter};
+    push_retired(slot, node);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    slot_record& rec = *slots_[slot];
+    if (++rec.retires_since_scan >= scan_threshold) {
+        rec.retires_since_scan = 0;
+        scan_and_free(slot);
+    }
+}
+
+void hazard_domain::push_retired(std::size_t slot, retired_node* node) noexcept {
+    std::atomic<retired_node*>& head = slots_[slot]->retired;
+    retired_node* old_head = head.load(std::memory_order_relaxed);
+    do {
+        node->next = old_head;
+    } while (!head.compare_exchange_weak(old_head, node, std::memory_order_acq_rel));
+}
+
+bool hazard_domain::is_protected(const void* p) const noexcept {
+    const std::size_t high = util::thread_registry::instance().high_water();
+    for (std::size_t s = 0; s < high; ++s) {
+        for (const auto& h : slots_[s]->hazards) {
+            if (h.load(std::memory_order_seq_cst) == p) return true;
+        }
+    }
+    return false;
+}
+
+void hazard_domain::scan_and_free(std::size_t slot) {
+    retired_node* stolen = slots_[slot]->retired.exchange(nullptr, std::memory_order_acq_rel);
+    retired_node* survivors = nullptr;
+    while (stolen != nullptr) {
+        retired_node* next = stolen->next;
+        if (is_protected(stolen->object)) {
+            stolen->next = survivors;
+            survivors = stolen;
+        } else {
+            stolen->deleter(stolen->object);
+            delete stolen;
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        stolen = next;
+    }
+    const std::size_t my_slot = util::thread_registry::instance().slot();
+    while (survivors != nullptr) {
+        retired_node* next = survivors->next;
+        push_retired(my_slot, survivors);
+        survivors = next;
+    }
+}
+
+void hazard_domain::drain_all() {
+    const std::size_t high = util::thread_registry::instance().high_water();
+    for (std::size_t s = 0; s < high; ++s) scan_and_free(s);
+}
+
+}  // namespace lfrc::reclaim

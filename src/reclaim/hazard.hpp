@@ -1,0 +1,104 @@
+// Hazard pointers (Michael 2002) — comparator reclamation scheme.
+//
+// The paper's §6 discusses alternatives to LFRC; hazard pointers are the
+// canonical CAS-only competitor (published contemporaneously), so the E5/E6
+// benchmarks pit LFRC's counted loads against HP's protect/validate loads.
+//
+// Per registered thread there are `slots_per_thread` hazard slots. Readers
+// publish the pointer they are about to dereference and re-validate the
+// source; reclaimers scan all published hazards and free only unprotected
+// retired nodes. Retire stacks mirror the epoch domain's: per-slot Treiber
+// stacks that any thread may steal and drain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace lfrc::reclaim {
+
+class hazard_domain {
+  public:
+    static constexpr std::size_t slots_per_thread = 4;
+
+    hazard_domain() = default;
+    hazard_domain(const hazard_domain&) = delete;
+    hazard_domain& operator=(const hazard_domain&) = delete;
+    ~hazard_domain();
+
+    /// RAII ownership of one of the calling thread's hazard slots.
+    class hp {
+      public:
+        explicit hp(hazard_domain& d);
+        ~hp();
+        hp(const hp&) = delete;
+        hp& operator=(const hp&) = delete;
+
+        /// Announce-and-validate load: returns a pointer that is safe to
+        /// dereference until the hp is cleared/destroyed.
+        template <typename T>
+        T* protect(const std::atomic<T*>& src) noexcept {
+            for (;;) {
+                T* p = src.load(std::memory_order_acquire);
+                announce(p);
+                if (src.load(std::memory_order_seq_cst) == p) return p;
+            }
+        }
+
+        /// Publish an already-loaded pointer (caller re-validates).
+        void announce(const void* p) noexcept {
+            slot_->store(p, std::memory_order_seq_cst);
+        }
+
+        void clear() noexcept { slot_->store(nullptr, std::memory_order_release); }
+
+      private:
+        hazard_domain& domain_;
+        std::atomic<const void*>* slot_;
+        std::size_t index_;
+    };
+
+    void retire(void* object, void (*deleter)(void*));
+
+    template <typename T>
+    void retire(T* object) {
+        retire(object, [](void* p) { delete static_cast<T*>(p); });
+    }
+
+    /// Scan hazards and free every unprotected retired node, from all slots.
+    void drain_all();
+
+    std::uint64_t pending() const noexcept {
+        return pending_.load(std::memory_order_acquire);
+    }
+
+    static hazard_domain& global();
+
+  private:
+    struct retired_node {
+        retired_node* next;
+        void* object;
+        void (*deleter)(void*);
+    };
+
+    struct slot_record {
+        std::atomic<const void*> hazards[slots_per_thread] = {};
+        // Owner-only: which hazard indices are handed out as hp objects.
+        bool in_use[slots_per_thread] = {};
+        std::atomic<retired_node*> retired{nullptr};
+        std::uint64_t retires_since_scan = 0;
+    };
+
+    static constexpr std::uint64_t scan_threshold = 64;
+
+    void push_retired(std::size_t slot, retired_node* node) noexcept;
+    void scan_and_free(std::size_t slot);
+    bool is_protected(const void* p) const noexcept;
+
+    std::atomic<std::uint64_t> pending_{0};
+    util::padded<slot_record> slots_[util::thread_registry::max_threads];
+};
+
+}  // namespace lfrc::reclaim

@@ -1,0 +1,58 @@
+// Lock-based deque baseline: std::deque under one mutex. The simplest
+// correct comparator for experiment E1 — it represents the "just use a
+// lock" alternative whose drawbacks (contention collapse, no progress
+// guarantee) motivate the paper's lock-free setting.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lfrc::snark {
+
+template <typename V>
+class mutex_deque {
+  public:
+    void push_right(V v) {
+        std::lock_guard lock(mutex_);
+        items_.push_back(std::move(v));
+    }
+
+    void push_left(V v) {
+        std::lock_guard lock(mutex_);
+        items_.push_front(std::move(v));
+    }
+
+    std::optional<V> pop_right() {
+        std::lock_guard lock(mutex_);
+        if (items_.empty()) return std::nullopt;
+        V v = std::move(items_.back());
+        items_.pop_back();
+        return v;
+    }
+
+    std::optional<V> pop_left() {
+        std::lock_guard lock(mutex_);
+        if (items_.empty()) return std::nullopt;
+        V v = std::move(items_.front());
+        items_.pop_front();
+        return v;
+    }
+
+    bool empty() const {
+        std::lock_guard lock(mutex_);
+        return items_.empty();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<V> items_;
+};
+
+}  // namespace lfrc::snark

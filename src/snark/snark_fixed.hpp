@@ -1,0 +1,192 @@
+// Snark deque with value-claiming pops — hardening against the
+// post-publication double-pop bug.
+//
+// Doherty et al. ("DCAS is not a Silver Bullet for Nonblocking Algorithm
+// Design", SPAA 2004) found, via mechanized verification, an interleaving in
+// which two pop operations of the published Snark both succeed for the same
+// node, returning one value twice and losing another. The bug is a property
+// of the deque algorithm, not of the LFRC methodology (LFRC reproduces the
+// algorithm it is given, faithfully — including its bugs).
+//
+// This variant makes pops claim the value atomically after unlinking: the
+// value slot is a 64-bit atomic and a successful hat-transition is followed
+// by an exchange with a reserved CLAIMED marker. If two pops ever unlink the
+// same node, exactly one wins the exchange; the loser retries. Values are
+// therefore returned at most once regardless of the underlying race, which
+// restores conservation (the property our stress suites check). The cost is
+// restricting the element type to 64-bit values distinct from the marker.
+//
+// Everything else is identical to snark_lfrc.hpp (same LFRC transformation,
+// same null-sentinel convention).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc::snark {
+
+template <typename Domain>
+class snark_deque_fixed {
+  public:
+    using value_type = std::uint64_t;
+
+    /// Reserved marker: pushing it is a precondition violation.
+    static constexpr value_type claimed = ~std::uint64_t{0};
+
+    struct snode : Domain::object {
+        typename Domain::template ptr_field<snode> L;
+        typename Domain::template ptr_field<snode> R;
+        std::atomic<value_type> value{claimed};
+
+        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
+            visitor.on_child(L.exclusive_get());
+            visitor.on_child(R.exclusive_get());
+        }
+    };
+
+    using local = typename Domain::template local_ptr<snode>;
+
+    snark_deque_fixed() {
+        Domain::store_alloc(dummy_, Domain::template make<snode>());
+        snode* dummy = dummy_ptr();
+        Domain::store(left_hat_, dummy);
+        Domain::store(right_hat_, dummy);
+    }
+
+    ~snark_deque_fixed() {
+        while (pop_left().has_value()) {}
+        Domain::store(dummy_, static_cast<snode*>(nullptr));
+        Domain::store(left_hat_, static_cast<snode*>(nullptr));
+        Domain::store(right_hat_, static_cast<snode*>(nullptr));
+    }
+
+    snark_deque_fixed(const snark_deque_fixed&) = delete;
+    snark_deque_fixed& operator=(const snark_deque_fixed&) = delete;
+
+    void push_right(value_type v) {
+        assert(v != claimed && "the CLAIMED marker cannot be pushed");
+        local nd = Domain::template make<snode>();
+        local rh, rhR, lh;
+        snode* dummy = dummy_ptr();
+        Domain::store(nd->R, dummy);
+        nd->value.store(v, std::memory_order_relaxed);
+        for (;;) {
+            Domain::load(right_hat_, rh);
+            Domain::load(rh->R, rhR);
+            if (!rhR) {
+                Domain::store(nd->L, dummy);
+                Domain::load(left_hat_, lh);
+                if (Domain::dcas(right_hat_, left_hat_, rh.get(), lh.get(), nd.get(),
+                                 nd.get())) {
+                    return;
+                }
+            } else {
+                Domain::store(nd->L, rh.get());
+                if (Domain::dcas(right_hat_, rh->R, rh.get(), rhR.get(), nd.get(),
+                                 nd.get())) {
+                    return;
+                }
+            }
+        }
+    }
+
+    void push_left(value_type v) {
+        assert(v != claimed && "the CLAIMED marker cannot be pushed");
+        local nd = Domain::template make<snode>();
+        local lh, lhL, rh;
+        snode* dummy = dummy_ptr();
+        Domain::store(nd->L, dummy);
+        nd->value.store(v, std::memory_order_relaxed);
+        for (;;) {
+            Domain::load(left_hat_, lh);
+            Domain::load(lh->L, lhL);
+            if (!lhL) {
+                Domain::store(nd->R, dummy);
+                Domain::load(right_hat_, rh);
+                if (Domain::dcas(left_hat_, right_hat_, lh.get(), rh.get(), nd.get(),
+                                 nd.get())) {
+                    return;
+                }
+            } else {
+                Domain::store(nd->R, lh.get());
+                if (Domain::dcas(left_hat_, lh->L, lh.get(), lhL.get(), nd.get(),
+                                 nd.get())) {
+                    return;
+                }
+            }
+        }
+    }
+
+    std::optional<value_type> pop_right() {
+        local rh, lh, rhR, rhL;
+        snode* dummy = dummy_ptr();
+        for (;;) {
+            Domain::load(right_hat_, rh);
+            Domain::load(left_hat_, lh);
+            Domain::load(rh->R, rhR);
+            if (!rhR) return std::nullopt;
+            if (rh == lh) {
+                if (Domain::dcas(right_hat_, left_hat_, rh.get(), lh.get(), dummy,
+                                 dummy)) {
+                    const value_type v = rh->value.exchange(claimed);
+                    if (v != claimed) return v;
+                    // A conflicting pop already took this node's value
+                    // (the Doherty interleaving): retry instead of
+                    // duplicating it.
+                }
+            } else {
+                Domain::load(rh->L, rhL);
+                if (Domain::dcas(right_hat_, rh->L, rh.get(), rhL.get(), rhL.get(),
+                                 static_cast<snode*>(nullptr))) {
+                    const value_type v = rh->value.exchange(claimed);
+                    if (v != claimed) return v;
+                }
+            }
+        }
+    }
+
+    std::optional<value_type> pop_left() {
+        local lh, rh, lhL, lhR;
+        snode* dummy = dummy_ptr();
+        for (;;) {
+            Domain::load(left_hat_, lh);
+            Domain::load(right_hat_, rh);
+            Domain::load(lh->L, lhL);
+            if (!lhL) return std::nullopt;
+            if (lh == rh) {
+                if (Domain::dcas(left_hat_, right_hat_, lh.get(), rh.get(), dummy,
+                                 dummy)) {
+                    const value_type v = lh->value.exchange(claimed);
+                    if (v != claimed) return v;
+                }
+            } else {
+                Domain::load(lh->R, lhR);
+                if (Domain::dcas(left_hat_, lh->R, lh.get(), lhR.get(), lhR.get(),
+                                 static_cast<snode*>(nullptr))) {
+                    const value_type v = lh->value.exchange(claimed);
+                    if (v != claimed) return v;
+                }
+            }
+        }
+    }
+
+    bool empty() const {
+        auto& self = const_cast<snark_deque_fixed&>(*this);
+        local rh = Domain::load_get(self.right_hat_);
+        local rhR = Domain::load_get(rh->R);
+        return !rhR;
+    }
+
+  private:
+    snode* dummy_ptr() const noexcept { return dummy_.exclusive_get(); }
+
+    typename Domain::template ptr_field<snode> dummy_;
+    typename Domain::template ptr_field<snode> left_hat_;
+    typename Domain::template ptr_field<snode> right_hat_;
+};
+
+}  // namespace lfrc::snark

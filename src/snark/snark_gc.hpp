@@ -1,0 +1,198 @@
+// GC-dependent Snark deque — the left-hand side of Figure 1, i.e. the
+// implementation the LFRC methodology *starts from*. It runs in the
+// "garbage-collected environment" the paper assumes, provided here by
+// gc::heap (stop-the-world mark-sweep, see src/gc/heap.hpp).
+//
+// Faithful to the original: sentinel nodes carry SELF-pointers (lines 6..7),
+// nodes have no reference counts, popped nodes are simply dropped — the
+// collector finds them unreachable. Self-pointer cycles in garbage are fine
+// for a tracing GC; they are exactly what LFRC's step 3 must remove.
+//
+// Pointer fields are dcas::cells driven by the LOCKED engine: during a
+// collection all mutators are parked at safepoints, never mid-operation, so
+// traced cells always hold clean values (the gc/heap.hpp contract).
+//
+// Threads must wrap themselves in gc::heap::attach_scope and the deque
+// methods poll safepoint() every retry loop, which is where the E8 pause
+// benchmark gets its stop-the-world stalls from.
+//
+// Lifetime contract: the constructor registers a root provider that the
+// heap cannot deregister, so the deque must outlive every collection on its
+// heap — destroy heap and deque together.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "dcas/cell.hpp"
+#include "dcas/locked_engine.hpp"
+#include "gc/heap.hpp"
+
+namespace lfrc::snark {
+
+template <typename V>
+class snark_deque_gc {
+    using engine = dcas::locked_engine;
+
+  public:
+    struct snode {  // Figure 1 lines 1..2: L, R, V — no rc field
+        dcas::cell L;
+        dcas::cell R;
+        V value{};
+
+        void gc_trace(gc::marker& m) const {
+            m.mark_cell(L);
+            m.mark_cell(R);
+        }
+    };
+
+    explicit snark_deque_gc(gc::heap& h) : heap_(h) {  // lines 4..9
+        gc::heap::attach_scope attach(heap_);
+        snode* dummy = heap_.template allocate<snode>();
+        store(dummy->L, dummy);  // line 6: self-pointers mark the sentinel
+        store(dummy->R, dummy);  // line 7
+        store(dummy_, dummy);
+        store(left_hat_, dummy);   // line 8
+        store(right_hat_, dummy);  // line 9
+        heap_.add_root([this](gc::marker& m) {
+            m.mark_cell(dummy_);
+            m.mark_cell(left_hat_);
+            m.mark_cell(right_hat_);
+        });
+    }
+
+    snark_deque_gc(const snark_deque_gc&) = delete;
+    snark_deque_gc& operator=(const snark_deque_gc&) = delete;
+
+    /// Figure 1 lines 14..30. Caller's thread must be attached to the heap.
+    void push_right(V v) {
+        gc::local<snode> nd(heap_, heap_.template allocate<snode>());  // line 14
+        gc::local<snode> rh(heap_), rhR(heap_), lh(heap_);             // line 15
+        snode* dummy = load(dummy_);
+        store(nd->R, dummy);       // line 18
+        nd->value = std::move(v);  // line 19
+        for (;;) {                 // line 20
+            heap_.safepoint();
+            rh = load(right_hat_);  // line 21
+            rhR = load(rh->R);      // line 22
+            if (rhR.get() == rh.get()) {  // line 23: self-pointer sentinel
+                store(nd->L, dummy);      // line 24
+                lh = load(left_hat_);     // line 25
+                if (dcas(right_hat_, left_hat_, rh.get(), lh.get(), nd.get(),
+                         nd.get())) {  // line 26
+                    return;            // line 27
+                }
+            } else {
+                store(nd->L, rh.get());  // line 28
+                if (dcas(right_hat_, rh->R, rh.get(), rhR.get(), nd.get(),
+                         nd.get())) {  // line 29
+                    return;            // line 30
+                }
+            }
+        }
+    }
+
+    void push_left(V v) {
+        gc::local<snode> nd(heap_, heap_.template allocate<snode>());
+        gc::local<snode> lh(heap_), lhL(heap_), rh(heap_);
+        snode* dummy = load(dummy_);
+        store(nd->L, dummy);
+        nd->value = std::move(v);
+        for (;;) {
+            heap_.safepoint();
+            lh = load(left_hat_);
+            lhL = load(lh->L);
+            if (lhL.get() == lh.get()) {
+                store(nd->R, dummy);
+                rh = load(right_hat_);
+                if (dcas(left_hat_, right_hat_, lh.get(), rh.get(), nd.get(), nd.get())) {
+                    return;
+                }
+            } else {
+                store(nd->R, lh.get());
+                if (dcas(left_hat_, lh->L, lh.get(), lhL.get(), nd.get(), nd.get())) {
+                    return;
+                }
+            }
+        }
+    }
+
+    std::optional<V> pop_right() {
+        gc::local<snode> rh(heap_), lh(heap_), rhR(heap_), rhL(heap_);
+        snode* dummy = load(dummy_);
+        for (;;) {
+            heap_.safepoint();
+            rh = load(right_hat_);
+            lh = load(left_hat_);
+            rhR = load(rh->R);
+            if (rhR.get() == rh.get()) return std::nullopt;  // sentinel => empty
+            if (rh.get() == lh.get()) {
+                if (dcas(right_hat_, left_hat_, rh.get(), lh.get(), dummy, dummy)) {
+                    return rh->value;
+                }
+            } else {
+                rhL = load(rh->L);
+                // Swing the hat left; the popped node becomes a self-linked
+                // sentinel — a garbage cycle only a tracing GC can reclaim.
+                if (dcas(right_hat_, rh->L, rh.get(), rhL.get(), rhL.get(), rh.get())) {
+                    return rh->value;
+                }
+            }
+        }
+    }
+
+    std::optional<V> pop_left() {
+        gc::local<snode> lh(heap_), rh(heap_), lhL(heap_), lhR(heap_);
+        snode* dummy = load(dummy_);
+        for (;;) {
+            heap_.safepoint();
+            lh = load(left_hat_);
+            rh = load(right_hat_);
+            lhL = load(lh->L);
+            if (lhL.get() == lh.get()) return std::nullopt;
+            if (lh.get() == rh.get()) {
+                if (dcas(left_hat_, right_hat_, lh.get(), rh.get(), dummy, dummy)) {
+                    return lh->value;
+                }
+            } else {
+                lhR = load(lh->R);
+                if (dcas(left_hat_, lh->R, lh.get(), lhR.get(), lhR.get(), lh.get())) {
+                    return lh->value;
+                }
+            }
+        }
+    }
+
+    bool empty() {
+        gc::local<snode> rh(heap_, load(right_hat_));
+        return load(rh->R) == rh.get();
+    }
+
+    gc::heap& owning_heap() noexcept { return heap_; }
+
+  private:
+    static snode* load(const dcas::cell& c) noexcept {
+        return dcas::decode_ptr<snode>(engine::read(const_cast<dcas::cell&>(c)));
+    }
+    static void store(dcas::cell& c, snode* v) noexcept {
+        // Plain store through a CAS loop keeps the engine the only writer
+        // discipline (store is only used on unpublished nodes and the hats
+        // during construction, but stay uniform).
+        for (;;) {
+            const std::uint64_t old = engine::read(c);
+            if (engine::cas(c, old, dcas::encode_ptr(v))) return;
+        }
+    }
+    static bool dcas(dcas::cell& c0, dcas::cell& c1, snode* o0, snode* o1, snode* n0,
+                     snode* n1) noexcept {
+        return engine::dcas(c0, c1, dcas::encode_ptr(o0), dcas::encode_ptr(o1),
+                            dcas::encode_ptr(n0), dcas::encode_ptr(n1));
+    }
+
+    gc::heap& heap_;
+    dcas::cell dummy_;      // line 3
+    dcas::cell left_hat_;   // line 3
+    dcas::cell right_hat_;  // line 3
+};
+
+}  // namespace lfrc::snark

@@ -1,0 +1,207 @@
+// GC-independent Snark deque — the paper's Section 4 example.
+//
+// This is the right-hand side of Figure 1, completed with the mirrored
+// pushLeft and the two pop operations of the underlying Snark algorithm
+// (Detlefs et al., "Even better DCAS-based concurrent deques", DISC 2000),
+// transformed by the six LFRC steps of §3:
+//
+//   step 1  rc field            -> snode derives Domain::object
+//   step 2  LFRCDestroy         -> snode::lfrc_visit_children
+//   step 3  no garbage cycles   -> null pointers replace the original's
+//                                  self-pointers (paper lines 36..37, 59);
+//                                  pops install null instead of self
+//   step 4  typed LFRC ops      -> basic_domain<Engine> templates
+//   step 5  replace pointer ops -> every access below is an LFRC op
+//   step 6  local pointer mgmt  -> local_ptr<> RAII, null-initialized
+//
+// Representation: a doubly-linked list with LeftHat/RightHat pointing to the
+// leftmost/rightmost nodes of a non-empty deque, and a Dummy node serving as
+// sentinel at one or both ends. A node whose R is null is a right sentinel;
+// L null, a left sentinel (the original used self-pointers; the null form is
+// what makes garbage cycle-free so reference counting can reclaim it). Some
+// pops leave a previously popped node behind as a sentinel — LFRC keeps it
+// alive exactly as long as a hat references it.
+//
+// Known post-publication caveat: the underlying Snark algorithm has a subtle
+// double-pop bug found by Doherty et al. (SPAA 2004), orthogonal to the LFRC
+// methodology; see snark_fixed.hpp for the value-claiming corrected variant
+// and DESIGN.md §3 for discussion.
+//
+// The destructor follows Figure 1 lines 40..44: drain, then null the three
+// shared pointers so everything reachable is destroyed. As the paper notes,
+// it must not run concurrently with other operations.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "lfrc/domain.hpp"
+
+namespace lfrc::snark {
+
+template <typename Domain, typename V>
+class snark_deque {
+  public:
+    struct snode : Domain::object {  // Figure 1 lines 31..32
+        typename Domain::template ptr_field<snode> L;
+        typename Domain::template ptr_field<snode> R;
+        V value{};
+
+        snode() = default;
+
+        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
+            visitor.on_child(L.exclusive_get());
+            visitor.on_child(R.exclusive_get());
+        }
+    };
+
+    using local = typename Domain::template local_ptr<snode>;
+
+    snark_deque() {  // lines 33..39
+        Domain::store_alloc(dummy_, Domain::template make<snode>());  // line 35
+        snode* dummy = dummy_ptr();
+        // Lines 36..37: Dummy's L and R are null (ptr_field default),
+        // where the original had self-pointers — step 3's cycle removal.
+        Domain::store(left_hat_, dummy);   // line 38
+        Domain::store(right_hat_, dummy);  // line 39
+    }
+
+    /// Lines 40..44. Not concurrency-safe; call at quiescence.
+    ~snark_deque() {
+        while (pop_left().has_value()) {}  // line 41
+        Domain::store(dummy_, static_cast<snode*>(nullptr));      // line 42
+        Domain::store(left_hat_, static_cast<snode*>(nullptr));   // line 43
+        Domain::store(right_hat_, static_cast<snode*>(nullptr));  // line 44
+    }
+
+    snark_deque(const snark_deque&) = delete;
+    snark_deque& operator=(const snark_deque&) = delete;
+
+    /// Figure 1 lines 49..68 (the paper returns FULLval on allocation
+    /// failure; here `new` throws std::bad_alloc instead).
+    void push_right(V v) {
+        local nd = Domain::template make<snode>();  // line 49
+        local rh, rhR, lh;                          // line 50: null-initialized
+        snode* dummy = dummy_ptr();
+        Domain::store(nd->R, dummy);  // line 54
+        nd->value = std::move(v);     // line 55
+        for (;;) {                    // line 56
+            Domain::load(right_hat_, rh);  // line 57
+            Domain::load(rh->R, rhR);      // line 58
+            if (!rhR) {                    // line 59: right sentinel => empty
+                Domain::store(nd->L, dummy);  // line 60
+                Domain::load(left_hat_, lh);  // line 61
+                if (Domain::dcas(right_hat_, left_hat_, rh.get(), lh.get(), nd.get(),
+                                 nd.get())) {  // line 62
+                    return;  // lines 63..64: locals destroy themselves
+                }
+            } else {
+                Domain::store(nd->L, rh.get());  // line 65
+                if (Domain::dcas(right_hat_, rh->R, rh.get(), rhR.get(), nd.get(),
+                                 nd.get())) {  // line 66
+                    return;  // lines 67..68
+                }
+            }
+        }
+    }
+
+    /// Mirror image of push_right.
+    void push_left(V v) {
+        local nd = Domain::template make<snode>();
+        local lh, lhL, rh;
+        snode* dummy = dummy_ptr();
+        Domain::store(nd->L, dummy);
+        nd->value = std::move(v);
+        for (;;) {
+            Domain::load(left_hat_, lh);
+            Domain::load(lh->L, lhL);
+            if (!lhL) {  // left sentinel => empty
+                Domain::store(nd->R, dummy);
+                Domain::load(right_hat_, rh);
+                if (Domain::dcas(left_hat_, right_hat_, lh.get(), rh.get(), nd.get(),
+                                 nd.get())) {
+                    return;
+                }
+            } else {
+                Domain::store(nd->R, lh.get());
+                if (Domain::dcas(left_hat_, lh->L, lh.get(), lhL.get(), nd.get(),
+                                 nd.get())) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// popRight of the original algorithm, LFRC-transformed, null sentinels.
+    std::optional<V> pop_right() {
+        local rh, lh, rhR, rhL;
+        snode* dummy = dummy_ptr();
+        for (;;) {
+            Domain::load(right_hat_, rh);
+            Domain::load(left_hat_, lh);
+            Domain::load(rh->R, rhR);
+            if (!rhR) return std::nullopt;  // right sentinel => empty
+            if (rh == lh) {
+                // Single node: both hats retreat to Dummy.
+                if (Domain::dcas(right_hat_, left_hat_, rh.get(), lh.get(), dummy,
+                                 dummy)) {
+                    return rh->value;
+                }
+            } else {
+                Domain::load(rh->L, rhL);
+                // Swing RightHat left; install null (not a self-pointer) in
+                // rh->L so the popped node cannot anchor a garbage cycle.
+                if (Domain::dcas(right_hat_, rh->L, rh.get(), rhL.get(), rhL.get(),
+                                 static_cast<snode*>(nullptr))) {
+                    V result = rh->value;
+                    return result;
+                }
+            }
+        }
+    }
+
+    /// Mirror image of pop_right.
+    std::optional<V> pop_left() {
+        local lh, rh, lhL, lhR;
+        snode* dummy = dummy_ptr();
+        for (;;) {
+            Domain::load(left_hat_, lh);
+            Domain::load(right_hat_, rh);
+            Domain::load(lh->L, lhL);
+            if (!lhL) return std::nullopt;  // left sentinel => empty
+            if (lh == rh) {
+                if (Domain::dcas(left_hat_, right_hat_, lh.get(), rh.get(), dummy,
+                                 dummy)) {
+                    return lh->value;
+                }
+            } else {
+                Domain::load(lh->R, lhR);
+                if (Domain::dcas(left_hat_, lh->R, lh.get(), lhR.get(), lhR.get(),
+                                 static_cast<snode*>(nullptr))) {
+                    V result = lh->value;
+                    return result;
+                }
+            }
+        }
+    }
+
+    /// Racy emptiness probe (exact only at quiescence).
+    bool empty() const {
+        auto& self = const_cast<snark_deque&>(*this);
+        local rh = Domain::load_get(self.right_hat_);
+        local rhR = Domain::load_get(rh->R);
+        return !rhR;
+    }
+
+  private:
+    /// Dummy is written only by the constructor/destructor, so reading it
+    /// without a counted load is safe during normal operation; its lifetime
+    /// is pinned by the dummy_ field's own count.
+    snode* dummy_ptr() const noexcept { return dummy_.exclusive_get(); }
+
+    typename Domain::template ptr_field<snode> dummy_;      // line 33
+    typename Domain::template ptr_field<snode> left_hat_;   // line 33
+    typename Domain::template ptr_field<snode> right_hat_;  // line 33
+};
+
+}  // namespace lfrc::snark

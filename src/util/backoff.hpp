@@ -1,0 +1,49 @@
+// Bounded exponential backoff for CAS retry loops.
+//
+// Backoff never substitutes for progress: every loop using it must also make
+// a helping step (see dcas::mcas_engine) or re-read shared state, so the
+// lock-free property of the enclosing operation is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lfrc::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    // Fallback: nothing architecture-specific available.
+#endif
+}
+
+/// Exponential spin backoff capped at `max_spins`; yields to the OS past the
+/// cap, which matters on machines with fewer cores than contending threads.
+class backoff {
+  public:
+    explicit backoff(std::uint32_t max_spins = 1024) noexcept : max_spins_(max_spins) {}
+
+    void operator()() noexcept {
+        if (current_ > max_spins_) {
+            std::this_thread::yield();
+            return;
+        }
+        for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+        current_ *= 2;
+    }
+
+    void reset() noexcept { current_ = 1; }
+
+  private:
+    std::uint32_t current_ = 1;
+    std::uint32_t max_spins_;
+};
+
+}  // namespace lfrc::util

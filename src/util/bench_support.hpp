@@ -1,0 +1,78 @@
+// Shared machinery for the experiment harness binaries in bench/:
+// fixed-duration mixed-op drivers with a start barrier, throughput and
+// latency aggregation across threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/spin_barrier.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lfrc::util {
+
+struct bench_result {
+    std::uint64_t total_ops = 0;
+    double seconds = 0;
+    latency_histogram latency;
+
+    double mops_per_sec() const {
+        return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e6 : 0;
+    }
+    double ops_per_sec() const {
+        return seconds > 0 ? static_cast<double>(total_ops) / seconds : 0;
+    }
+};
+
+/// Runs `body(thread_index)` repeatedly on `threads` threads for
+/// `duration_seconds`, counting one op per invocation. `record_latency`
+/// additionally samples per-op latency (1-in-16 sampling keeps the probe
+/// cheap).
+inline bench_result run_for(int threads, double duration_seconds,
+                            const std::function<void(int)>& body,
+                            bool record_latency = false) {
+    std::vector<std::uint64_t> ops(static_cast<std::size_t>(threads), 0);
+    std::vector<latency_histogram> hists(static_cast<std::size_t>(threads));
+    std::atomic<bool> stop{false};
+    spin_barrier barrier{static_cast<std::size_t>(threads) + 1};
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            barrier.arrive_and_wait();
+            std::uint64_t count = 0;
+            auto& hist = hists[static_cast<std::size_t>(t)];
+            while (!stop.load(std::memory_order_acquire)) {
+                if (record_latency && (count & 15) == 0) {
+                    stopwatch op_clock;
+                    body(t);
+                    hist.record(op_clock.elapsed_ns() + 1);
+                } else {
+                    body(t);
+                }
+                ++count;
+            }
+            ops[static_cast<std::size_t>(t)] = count;
+        });
+    }
+
+    barrier.arrive_and_wait();
+    stopwatch clock;
+    while (clock.elapsed_seconds() < duration_seconds) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& t : pool) t.join();
+
+    bench_result result;
+    result.seconds = clock.elapsed_seconds();
+    for (auto n : ops) result.total_ops += n;
+    for (auto& h : hists) result.latency.merge(h);
+    return result;
+}
+
+}  // namespace lfrc::util

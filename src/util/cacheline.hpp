@@ -1,0 +1,33 @@
+// Cache-line geometry helpers: padding wrappers used to keep hot atomics on
+// private lines in the engines, reclamation domains, and benchmark counters.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lfrc::util {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// standard constant varies with -mtune and would make layout part of the ABI.
+inline constexpr std::size_t cacheline_size = 64;
+
+/// Wraps T so that distinct array elements never share a cache line.
+template <typename T>
+struct alignas(cacheline_size) padded {
+    T value{};
+
+    padded() = default;
+    template <typename... Args>
+    explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+    T& operator*() noexcept { return value; }
+    const T& operator*() const noexcept { return value; }
+    T* operator->() noexcept { return &value; }
+    const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(padded<int>) >= 64);
+
+}  // namespace lfrc::util

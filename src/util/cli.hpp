@@ -1,0 +1,48 @@
+// Minimal --key=value flag parsing shared by bench and example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace lfrc::util {
+
+class cli_flags {
+  public:
+    cli_flags(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string_view arg = argv[i];
+            if (arg.substr(0, 2) != "--") continue;
+            arg.remove_prefix(2);
+            const auto eq = arg.find('=');
+            if (eq == std::string_view::npos) {
+                flags_[std::string(arg)] = "1";
+            } else {
+                flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+            }
+        }
+    }
+
+    std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+        const auto it = flags_.find(key);
+        return it == flags_.end() ? fallback : std::stoull(it->second);
+    }
+
+    double get_double(const std::string& key, double fallback) const {
+        const auto it = flags_.find(key);
+        return it == flags_.end() ? fallback : std::stod(it->second);
+    }
+
+    std::string get_string(const std::string& key, std::string fallback) const {
+        const auto it = flags_.find(key);
+        return it == flags_.end() ? std::move(fallback) : it->second;
+    }
+
+    bool has(const std::string& key) const { return flags_.count(key) != 0; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+};
+
+}  // namespace lfrc::util

@@ -1,0 +1,71 @@
+// Small, fast PRNGs for tests and workload generators.
+//
+// splitmix64 seeds xoshiro256**; both are the reference public-domain
+// algorithms (Blackman & Vigna). Determinism per seed is part of the test
+// contract: a failing stress test reports its seed so it can be replayed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lfrc::util {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** — general-purpose 64-bit generator.
+class xoshiro256 {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        for (auto& w : s_) w = splitmix64(seed);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~0ULL; }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    /// True with probability percent/100.
+    bool chance_percent(std::uint64_t percent) noexcept { return below(100) < percent; }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> s_{};
+};
+
+/// Per-thread generator, seeded from a global seed plus the thread id hash.
+inline xoshiro256& thread_rng() noexcept {
+    thread_local xoshiro256 rng{0x2545f4914f6cdd1dULL ^
+                                reinterpret_cast<std::uintptr_t>(&rng)};
+    return rng;
+}
+
+}  // namespace lfrc::util

@@ -1,0 +1,37 @@
+// Sense-reversing spin barrier for starting benchmark/test threads together.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/backoff.hpp"
+
+namespace lfrc::util {
+
+class spin_barrier {
+  public:
+    explicit spin_barrier(std::size_t parties) noexcept
+        : parties_(parties), waiting_(parties) {}
+
+    spin_barrier(const spin_barrier&) = delete;
+    spin_barrier& operator=(const spin_barrier&) = delete;
+
+    void arrive_and_wait() noexcept {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (waiting_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            waiting_.store(parties_, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+            return;
+        }
+        backoff bo;
+        while (sense_.load(std::memory_order_acquire) != my_sense) bo();
+    }
+
+  private:
+    const std::size_t parties_;
+    std::atomic<std::size_t> waiting_;
+    std::atomic<bool> sense_{false};
+};
+
+}  // namespace lfrc::util

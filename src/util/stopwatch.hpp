@@ -1,0 +1,31 @@
+// Monotonic-clock stopwatch used by benchmark drivers and latency probes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lfrc::util {
+
+class stopwatch {
+  public:
+    using clock = std::chrono::steady_clock;
+
+    stopwatch() noexcept : start_(clock::now()) {}
+
+    void restart() noexcept { start_ = clock::now(); }
+
+    std::uint64_t elapsed_ns() const noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+                .count());
+    }
+
+    double elapsed_seconds() const noexcept {
+        return static_cast<double>(elapsed_ns()) * 1e-9;
+    }
+
+  private:
+    clock::time_point start_;
+};
+
+}  // namespace lfrc::util

@@ -1,0 +1,65 @@
+// Aligned-column table printing for benchmark harness output.
+//
+// Every bench binary prints one or more of these tables; EXPERIMENTS.md is
+// written from the same rows, so keep formatting stable.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lfrc::util {
+
+class table {
+  public:
+    explicit table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    table& add_row(std::vector<std::string> cells) {
+        rows_.push_back(std::move(cells));
+        return *this;
+    }
+
+    static std::string fmt(double v, int precision = 2) {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    static std::string fmt_count(std::uint64_t v) {
+        if (v >= 10'000'000) return fmt(static_cast<double>(v) / 1e6, 1) + "M";
+        if (v >= 10'000) return fmt(static_cast<double>(v) / 1e3, 1) + "k";
+        return std::to_string(v);
+    }
+
+    void print(std::ostream& os = std::cout) const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto line = [&](const std::vector<std::string>& cells) {
+            os << "|";
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+                os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+            }
+            os << '\n';
+        };
+        line(headers_);
+        os << "|";
+        for (auto w : widths) os << std::string(w + 2, '-') << "|";
+        os << '\n';
+        for (const auto& row : rows_) line(row);
+        os.flush();
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lfrc::util

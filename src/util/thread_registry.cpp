@@ -1,0 +1,65 @@
+#include "util/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lfrc::util {
+
+namespace {
+
+/// RAII holder living in a thread_local: releases the slot at thread exit.
+struct slot_lease_impl {
+    std::size_t slot = thread_registry::max_threads;
+    bool held = false;
+    ~slot_lease_impl();
+};
+
+}  // namespace
+
+// Named friend so the .cpp-local lease can reach release().
+struct slot_lease {
+    static void release(std::size_t s) noexcept { thread_registry::instance().release(s); }
+    static std::size_t acquire() { return thread_registry::instance().acquire(); }
+};
+
+namespace {
+slot_lease_impl::~slot_lease_impl() {
+    if (held) slot_lease::release(slot);
+}
+}  // namespace
+
+thread_registry& thread_registry::instance() {
+    static thread_registry reg;
+    return reg;
+}
+
+std::size_t thread_registry::slot() {
+    thread_local slot_lease_impl lease;
+    if (!lease.held) {
+        lease.slot = slot_lease::acquire();
+        lease.held = true;
+    }
+    return lease.slot;
+}
+
+std::size_t thread_registry::acquire() {
+    for (std::size_t s = 0; s < max_threads; ++s) {
+        bool expected = false;
+        if (used_[s].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+            // Advance the high-water mark monotonically.
+            std::size_t hw = high_water_.load(std::memory_order_relaxed);
+            while (hw < s + 1 &&
+                   !high_water_.compare_exchange_weak(hw, s + 1, std::memory_order_acq_rel)) {
+            }
+            return s;
+        }
+    }
+    std::fprintf(stderr, "lfrc: thread_registry exhausted (%zu live threads)\n", max_threads);
+    std::abort();
+}
+
+void thread_registry::release(std::size_t s) noexcept {
+    used_[s].store(false, std::memory_order_release);
+}
+
+}  // namespace lfrc::util

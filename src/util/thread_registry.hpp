@@ -1,0 +1,50 @@
+// Process-wide fixed-slot thread registry.
+//
+// Reclamation schemes (epoch, hazard pointers) and the toy GC all need a
+// bounded, scannable set of per-thread records. Each thread lazily acquires
+// one slot on first use and releases it at thread exit, so slots are reused
+// across short-lived test threads. Subsystems key their own per-slot arrays
+// by `slot()` and scan `[0, high_water())`.
+//
+// A slot is released only from the owning thread's destructor, at which point
+// the thread can no longer be inside any critical section, so per-slot
+// subsystem state observed by scanners is quiescent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace lfrc::util {
+
+class thread_registry {
+  public:
+    static constexpr std::size_t max_threads = 128;
+
+    static thread_registry& instance();
+
+    /// Slot owned by the calling thread; acquires one on first call.
+    /// Terminates the process if more than max_threads threads are live at
+    /// once (a hard deployment limit, documented in the README).
+    std::size_t slot();
+
+    /// One past the highest slot ever acquired; scan bound for subsystems.
+    std::size_t high_water() const noexcept {
+        return high_water_.load(std::memory_order_acquire);
+    }
+
+    bool in_use(std::size_t s) const noexcept {
+        return used_[s].load(std::memory_order_acquire);
+    }
+
+  private:
+    friend struct slot_lease;
+    thread_registry() = default;
+
+    std::size_t acquire();
+    void release(std::size_t s) noexcept;
+
+    std::atomic<bool> used_[max_threads] = {};
+    std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace lfrc::util

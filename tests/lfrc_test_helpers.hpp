@@ -1,0 +1,59 @@
+// Shared helpers for LFRC test suites: a generic managed node type and
+// quiescent drain utilities.
+#pragma once
+
+#include <cstdint>
+
+#include "lfrc/lfrc.hpp"
+
+namespace lfrc_tests {
+
+/// Simple managed node with one child link and a payload, usable with any
+/// domain. Also counts live instances of itself for leak assertions that do
+/// not depend on global allocator state.
+template <typename D>
+struct test_node : D::object {
+    using domain = D;
+
+    typename D::template ptr_field<test_node> next;
+    std::int64_t value = 0;
+
+    static std::atomic<std::int64_t>& live() {
+        static std::atomic<std::int64_t> count{0};
+        return count;
+    }
+
+    explicit test_node(std::int64_t v = 0) : value(v) { live().fetch_add(1); }
+    ~test_node() override { live().fetch_sub(1); }
+
+    void lfrc_visit_children(typename D::child_visitor& v) noexcept override {
+        v.on_child(next.exclusive_get());
+    }
+};
+
+/// Two-child node for tree/dag-shaped destruction tests.
+template <typename D>
+struct test_pair_node : D::object {
+    typename D::template ptr_field<test_pair_node> left;
+    typename D::template ptr_field<test_pair_node> right;
+    std::int64_t value = 0;
+
+    static std::atomic<std::int64_t>& live() {
+        static std::atomic<std::int64_t> count{0};
+        return count;
+    }
+
+    explicit test_pair_node(std::int64_t v = 0) : value(v) { live().fetch_add(1); }
+    ~test_pair_node() override { live().fetch_sub(1); }
+
+    void lfrc_visit_children(typename D::child_visitor& v) noexcept override {
+        v.on_child(left.exclusive_get());
+        v.on_child(right.exclusive_get());
+    }
+};
+
+/// Flush deferred frees until the epoch domain reports nothing pending.
+/// Call only at quiescence.
+inline void drain_epochs() { lfrc::flush_deferred_frees(64); }
+
+}  // namespace lfrc_tests

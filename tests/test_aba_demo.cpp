@@ -1,0 +1,159 @@
+// A deterministic reconstruction of the ABA problem the paper describes in
+// §1, and the demonstration that LFRC prevents it:
+//
+//   "if a CAS or DCAS operation is about to operate on a pointer, and the
+//    object to which it points is freed and then reallocated, then it is
+//    possible for the CAS or DCAS to succeed even though it should fail."
+//
+// Part 1 stages the classic Treiber-stack ABA on recycled pool memory with a
+// hand-scripted interleaving and shows the naive CAS *succeeds wrongly*,
+// corrupting the stack. Part 2 replays the same interleaving move-for-move
+// against LFRC shared pointers and shows the corrupting step is unreachable:
+// the delayed thread's counted reference keeps node A alive, so its address
+// cannot be reused and the stale CAS correctly fails.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+
+#include "alloc/block_pool.hpp"
+#include "lfrc_test_helpers.hpp"
+
+namespace {
+
+using namespace lfrc;
+
+// A deliberately naive Treiber stack over a recycling pool: pop() frees the
+// node back to the pool immediately — the textbook mistake.
+template <typename V>
+class naive_pool_stack {
+  public:
+    struct node {
+        node* next = nullptr;
+        V value{};
+    };
+
+    void push(V v) {
+        node* nd = pool_.create();
+        nd->value = v;
+        node* h = head_.load();
+        do {
+            nd->next = h;
+        } while (!head_.compare_exchange_weak(h, nd));
+    }
+
+    std::optional<V> pop() {
+        for (;;) {
+            node* h = head_.load();
+            if (h == nullptr) return std::nullopt;
+            node* next = h->next;
+            if (head_.compare_exchange_strong(h, next)) {
+                V v = h->value;
+                pool_.recycle(h);  // immediate reuse: the ABA seed
+                return v;
+            }
+        }
+    }
+
+    // Test hooks to stage the interleaving step by step.
+    node* observe_head() { return head_.load(); }
+    bool raw_cas_head(node* expected, node* desired) {
+        return head_.compare_exchange_strong(expected, desired);
+    }
+
+  private:
+    std::atomic<node*> head_{nullptr};
+    alloc::typed_pool<node> pool_;
+};
+
+TEST(AbaDemo, NaiveCasSucceedsWronglyOnRecycledMemory) {
+    naive_pool_stack<int> st;
+    st.push(100);  // B
+    st.push(200);  // A (top)
+
+    // Thread 1 (simulated): begins pop. Reads head = A and next = B, then
+    // is "preempted" before its CAS.
+    auto* a = st.observe_head();
+    ASSERT_NE(a, nullptr);
+    auto* b = a->next;
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->value, 200);
+    EXPECT_EQ(b->value, 100);
+
+    // Thread 2 (simulated): pops A, pops B (recycled LIFO: freelist top is
+    // now B, then A), then pushes 111 (lands in B's block) and 222 (lands
+    // in A's block). Net effect: head holds the bit pattern "A" again and
+    // even A->next is "B" again — but the values are now 222 and 111.
+    EXPECT_EQ(st.pop(), 200);
+    EXPECT_EQ(st.pop(), 100);
+    st.push(111);  // reuses B's block
+    st.push(222);  // reuses A's block -> top is A's address again: A-B-A
+    ASSERT_EQ(st.observe_head(), a) << "pool must reuse A's address for the demo";
+    EXPECT_EQ(st.observe_head()->value, 222);
+    ASSERT_EQ(a->next, b);
+    EXPECT_EQ(b->value, 111);
+
+    // Thread 1 resumes: its CAS(head, A, B) SHOULD fail — its snapshot is
+    // ancient, value 200 is long gone — but a raw pointer compare cannot
+    // tell. Thread 1 would complete its pop and report the stale value 200,
+    // a value another thread already popped (a duplicate), while 222 —
+    // which actually occupied the top — is silently lost.
+    EXPECT_TRUE(st.raw_cas_head(a, b)) << "the ABA CAS was expected to (wrongly) succeed";
+    EXPECT_EQ(st.pop(), 111);
+    EXPECT_EQ(st.pop(), std::nullopt) << "222 was lost: the stack is corrupted";
+}
+
+TEST(AbaDemo, LfrcMakesTheSameInterleavingHarmless) {
+    using D = domain;
+    using node = lfrc_tests::test_node<D>;
+    alloc::scope_check leak_check;
+    {
+        // Shared pointer playing the role of the stack head.
+        typename D::template ptr_field<node> head;
+
+        // Build head -> A -> B as in part 1.
+        auto b_owner = D::make<node>(100);
+        auto a_owner = D::make<node>(200);
+        D::store(a_owner->next, b_owner);
+        D::store(head, a_owner);
+
+        // Thread 1 (simulated): LFRCLoads head and next — taking COUNTED
+        // references (the DCAS inside load is what makes this safe).
+        auto t1_a = D::load_get(head);       // counted ref to A
+        auto t1_b = D::load_get(t1_a->next); // counted ref to B
+        ASSERT_EQ(t1_a->value, 200);
+        ASSERT_EQ(t1_b->value, 100);
+        node* a_address = t1_a.get();
+
+        // Drop the creator's handles; thread 1's counts keep A and B alive.
+        a_owner.reset();
+        b_owner.reset();
+
+        // Thread 2 (simulated): pops A, pops B, pushes replacements.
+        EXPECT_TRUE(D::cas(head, t1_a.get(), t1_b.get()));            // pop A
+        EXPECT_TRUE(D::cas(head, t1_b.get(), (node*)nullptr));        // pop B
+        auto c = D::make<node>(111);
+        auto d_node = D::make<node>(222);
+        D::store(c->next, d_node);
+        D::store(head, c);
+
+        // With LFRC the A-B-A bit pattern cannot recur: A is still alive
+        // (thread 1 holds a count), so no new node can occupy its address.
+        lfrc_tests::drain_epochs();
+        EXPECT_NE(c.get(), a_address);
+        EXPECT_NE(d_node.get(), a_address);
+        EXPECT_EQ(t1_a->value, 200) << "A must still be intact while referenced";
+
+        // Thread 1 resumes its stale CAS(head, A, B): correctly FAILS.
+        EXPECT_FALSE(D::cas(head, t1_a.get(), t1_b.get()));
+        // And the structure is unharmed.
+        auto top = D::load_get(head);
+        EXPECT_EQ(top->value, 111);
+
+        D::store(head, (node*)nullptr);
+    }
+    lfrc_tests::drain_epochs();
+    EXPECT_EQ(leak_check.leaked_objects(), 0);
+}
+
+}  // namespace

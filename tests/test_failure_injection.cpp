@@ -1,0 +1,166 @@
+// Failure-injection tests: the progress/memory trade-offs the paper and
+// DESIGN.md promise, demonstrated under adversarial scheduling —
+//  * a thread parked inside an engine operation's critical section delays
+//    reclamation (memory grows) but never blocks other threads' operations;
+//  * a thread holding counted references pins exactly the objects it can
+//    reach, and everything collapses the moment it lets go;
+//  * a permanently "leaked" reference (paper footnote 3: a thread that
+//    fails permanently) keeps its subgraph as unreclaimed garbage — the
+//    documented limitation, not a crash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+using lfrc_tests::test_node;
+
+// A thread parked inside an epoch guard stalls reclamation but not the
+// progress of other threads' LFRC operations.
+TEST(FailureInjection, PinnedThreadDoesNotBlockOperations) {
+    using D = domain;
+    using node = test_node<D>;
+    auto& dom = reclaim::epoch_domain::global();
+
+    std::atomic<bool> pinned{false}, release{false};
+    std::thread stalled([&] {
+        reclaim::epoch_domain::guard g(dom);
+        pinned = true;
+        while (!release.load()) std::this_thread::yield();
+    });
+    while (!pinned.load()) std::this_thread::yield();
+
+    // Other threads keep completing operations while the pin is held.
+    typename D::ptr_field<node> shared;
+    constexpr int ops = 5000;
+    util::stopwatch clock;
+    for (int i = 0; i < ops; ++i) {
+        auto fresh = D::make<node>(i);
+        D::store(shared, fresh);
+        auto got = D::load_get(shared);
+        ASSERT_TRUE(got);
+        ASSERT_EQ(got->value, i);
+    }
+    D::store(shared, static_cast<node*>(nullptr));
+    EXPECT_LT(clock.elapsed_seconds(), 30.0) << "operations stalled behind the pin";
+
+    // Reclamation, however, is stalled: pending grows.
+    const auto pending_during = dom.pending();
+    EXPECT_GT(pending_during, 0u);
+    drain_epochs();
+    EXPECT_GT(dom.pending(), 0u) << "drain must not free past an active pin";
+
+    release = true;
+    stalled.join();
+    drain_epochs();
+    EXPECT_EQ(dom.pending(), 0u) << "everything reclaimed once the pin lifted";
+}
+
+// A slow reader holding a counted reference into the middle of a chain pins
+// the chain's tail (reference chains are reachable garbage), and the whole
+// thing collapses on release.
+TEST(FailureInjection, SlowReaderPinsExactlyItsSubgraph) {
+    using D = domain;
+    using node = test_node<D>;
+    drain_epochs();
+    const auto live_before = node::live().load();
+    {
+        // Build a chain head -> n1 -> ... -> n100.
+        typename D::local_ptr<node> head;
+        for (int i = 0; i < 100; ++i) {
+            auto nd = D::make<node>(i);
+            D::store(nd->next, head);
+            head = std::move(nd);
+        }
+        // "Slow reader": clone a reference to node 50.
+        typename D::local_ptr<node> cursor = head;
+        typename D::local_ptr<node> tmp;
+        for (int i = 0; i < 50; ++i) {
+            D::load(cursor->next, tmp);
+            cursor = tmp;
+        }
+        // Drop the head: the first 50 nodes are garbage, the last 50 pinned
+        // by the reader's counted reference.
+        head.reset();
+        tmp.reset();
+        drain_epochs();
+        EXPECT_EQ(node::live().load(), live_before + 50)
+            << "exactly the reader-reachable suffix must survive";
+        ASSERT_TRUE(cursor);
+        EXPECT_EQ(cursor->value, 49);  // values were assigned in reverse
+        cursor.reset();
+    }
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+// Footnote 3 of the paper: "it is possible for garbage to exist and never
+// be freed in the case where a thread fails permanently." A leaked counted
+// reference models the failed thread; its subgraph stays allocated, the
+// rest of the system is unaffected.
+TEST(FailureInjection, PermanentlyFailedThreadLeaksOnlyItsReferences) {
+    using D = domain;
+    using node = test_node<D>;
+    drain_epochs();
+    const auto live_before = node::live().load();
+
+    // The "failed thread" acquires a reference and never releases it.
+    node* leaked = D::make<node>(777).release();
+
+    // Unrelated work proceeds and reclaims normally.
+    {
+        typename D::ptr_field<node> shared;
+        for (int i = 0; i < 500; ++i) {
+            D::store_alloc(shared, D::make<node>(i));
+        }
+        D::store(shared, static_cast<node*>(nullptr));
+    }
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before + 1)
+        << "only the failed thread's object survives";
+
+    // Cleanup so later tests see a balanced world.
+    D::destroy(leaked);
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+// Many short-lived threads churning one structure: thread slots and epoch
+// records are recycled across thread lifetimes without corruption.
+TEST(FailureInjection, ThreadChurnRecyclesSlotsSafely) {
+    using D = domain;
+    using node = test_node<D>;
+    drain_epochs();
+    const auto live_before = node::live().load();
+    {
+        typename D::ptr_field<node> shared;
+        D::store_alloc(shared, D::make<node>(0));
+        for (int wave = 0; wave < 20; ++wave) {
+            std::vector<std::thread> pool;
+            for (int t = 0; t < 4; ++t) {
+                pool.emplace_back([&] {
+                    typename D::local_ptr<node> mine;
+                    for (int i = 0; i < 200; ++i) {
+                        D::load(shared, mine);
+                        auto fresh = D::make<node>(i);
+                        D::cas(shared, mine.get(), fresh.get());
+                    }
+                });
+            }
+            for (auto& t : pool) t.join();
+        }
+        D::store(shared, static_cast<node*>(nullptr));
+    }
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the LFRC hash set: set semantics across buckets, bucket
+// dispatch stability, differential testing against std::set, concurrent
+// conservation, and leak-freedom.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "containers/lfrc_hash_set.hpp"
+#include "lfrc_test_helpers.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+
+template <typename D>
+class HashSetTest : public ::testing::Test {
+  protected:
+    using set_t = containers::lfrc_hash_set<D, std::int64_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(HashSetTest, Domains);
+
+TYPED_TEST(HashSetTest, BasicSemantics) {
+    typename TestFixture::set_t s{8};
+    EXPECT_EQ(s.bucket_count(), 8u);
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.insert(1));
+    EXPECT_FALSE(s.insert(1));
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.erase(1));
+    EXPECT_FALSE(s.erase(1));
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TYPED_TEST(HashSetTest, SpreadsAcrossBucketsAndFindsEverything) {
+    typename TestFixture::set_t s{16};
+    constexpr std::int64_t n = 2000;
+    for (std::int64_t k = 0; k < n; ++k) EXPECT_TRUE(s.insert(k));
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(n));
+    for (std::int64_t k = 0; k < n; ++k) EXPECT_TRUE(s.contains(k));
+    EXPECT_FALSE(s.contains(n));
+    for (std::int64_t k = 0; k < n; k += 2) EXPECT_TRUE(s.erase(k));
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(n / 2));
+    for (std::int64_t k = 0; k < n; ++k) EXPECT_EQ(s.contains(k), k % 2 == 1);
+}
+
+TYPED_TEST(HashSetTest, SingleBucketDegeneratesToList) {
+    typename TestFixture::set_t s{1};
+    for (std::int64_t k : {9, 1, 5, 3, 7}) EXPECT_TRUE(s.insert(k));
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_TRUE(s.erase(5));
+    EXPECT_FALSE(s.contains(5));
+}
+
+TYPED_TEST(HashSetTest, MatchesStdSetOnRandomTape) {
+    typename TestFixture::set_t s{32};
+    std::set<std::int64_t> model;
+    util::xoshiro256 rng{2024};
+    for (int i = 0; i < 8000; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.below(500));
+        switch (rng.below(3)) {
+            case 0: ASSERT_EQ(s.insert(key), model.insert(key).second) << "op " << i; break;
+            case 1: ASSERT_EQ(s.erase(key), model.erase(key) > 0) << "op " << i; break;
+            default: ASSERT_EQ(s.contains(key), model.count(key) > 0) << "op " << i; break;
+        }
+    }
+    EXPECT_EQ(s.size(), model.size());
+}
+
+TYPED_TEST(HashSetTest, ConcurrentInsertEraseBalance) {
+    typename TestFixture::set_t s{16};
+    constexpr int threads = 4;
+    constexpr int key_space = 64;
+    constexpr int iters = 3000;
+    std::vector<std::atomic<int>> balance(key_space);
+    for (auto& b : balance) b.store(0);
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            util::xoshiro256 rng{static_cast<std::uint64_t>(t) * 37 + 5};
+            barrier.arrive_and_wait();
+            for (int i = 0; i < iters; ++i) {
+                const auto key = static_cast<std::int64_t>(rng.below(key_space));
+                if (rng.below(2) == 0) {
+                    if (s.insert(key)) balance[static_cast<std::size_t>(key)].fetch_add(1);
+                } else {
+                    if (s.erase(key)) balance[static_cast<std::size_t>(key)].fetch_sub(1);
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    std::size_t expected_size = 0;
+    for (int k = 0; k < key_space; ++k) {
+        const int b = balance[static_cast<std::size_t>(k)].load();
+        ASSERT_TRUE(b == 0 || b == 1) << "key " << k;
+        EXPECT_EQ(s.contains(k), b == 1) << "key " << k;
+        expected_size += static_cast<std::size_t>(b);
+    }
+    EXPECT_EQ(s.size(), expected_size);
+}
+
+TYPED_TEST(HashSetTest, NoLeaksAfterChurn) {
+    using D = TypeParam;
+    drain_epochs();
+    const auto before = D::counters().snapshot();
+    {
+        typename TestFixture::set_t s{8};
+        util::xoshiro256 rng{404};
+        for (int i = 0; i < 6000; ++i) {
+            const auto key = static_cast<std::int64_t>(rng.below(256));
+            if (rng.below(2) == 0) {
+                s.insert(key);
+            } else {
+                s.erase(key);
+            }
+        }
+    }
+    drain_epochs();
+    const auto after = D::counters().snapshot();
+    EXPECT_EQ(after.objects_created - before.objects_created,
+              after.objects_destroyed - before.objects_destroyed);
+}
+
+TEST(HashSetStringKeys, WorksWithNonTrivialKeyType) {
+    containers::lfrc_hash_set<domain, std::string> s{8};
+    EXPECT_TRUE(s.insert("alpha"));
+    EXPECT_TRUE(s.insert("beta"));
+    EXPECT_FALSE(s.insert("alpha"));
+    EXPECT_TRUE(s.contains("beta"));
+    EXPECT_TRUE(s.erase("alpha"));
+    EXPECT_FALSE(s.contains("alpha"));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the generalized N-word CAS (mcas_engine::casn): semantics for
+// N in {1,2,3,4}, argument-order independence, and multi-threaded atomicity
+// invariants (sum conservation across 3-way transfers, all-equal snapshots).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dcas/cell.hpp"
+#include "dcas/mcas_engine.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using dcas::cell;
+using dcas::mcas_engine;
+using op = mcas_engine::casn_op;
+
+std::uint64_t count_of(cell& c) { return dcas::decode_count(mcas_engine::read(c)); }
+std::uint64_t enc(std::uint64_t v) { return dcas::encode_count(v); }
+
+TEST(Kcas, SingleWordDegeneratesToCas) {
+    cell c{enc(5)};
+    op ops[] = {{&c, enc(5), enc(6)}};
+    EXPECT_TRUE(mcas_engine::casn(ops, 1));
+    EXPECT_EQ(count_of(c), 6u);
+    op bad[] = {{&c, enc(5), enc(7)}};
+    EXPECT_FALSE(mcas_engine::casn(bad, 1));
+    EXPECT_EQ(count_of(c), 6u);
+}
+
+TEST(Kcas, ThreeWordAllMatchSucceeds) {
+    cell a{enc(1)}, b{enc(2)}, c{enc(3)};
+    op ops[] = {{&a, enc(1), enc(10)}, {&b, enc(2), enc(20)}, {&c, enc(3), enc(30)}};
+    EXPECT_TRUE(mcas_engine::casn(ops, 3));
+    EXPECT_EQ(count_of(a), 10u);
+    EXPECT_EQ(count_of(b), 20u);
+    EXPECT_EQ(count_of(c), 30u);
+}
+
+TEST(Kcas, AnySingleMismatchFailsAtomically) {
+    for (int wrong = 0; wrong < 4; ++wrong) {
+        cell cells[4] = {cell{enc(1)}, cell{enc(2)}, cell{enc(3)}, cell{enc(4)}};
+        op ops[4];
+        for (int i = 0; i < 4; ++i) {
+            const std::uint64_t expected =
+                (i == wrong) ? enc(99) : enc(static_cast<std::uint64_t>(i) + 1);
+            ops[i] = {&cells[i], expected, enc(100 + static_cast<std::uint64_t>(i))};
+        }
+        EXPECT_FALSE(mcas_engine::casn(ops, 4)) << "wrong index " << wrong;
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(count_of(cells[i]), static_cast<std::uint64_t>(i) + 1)
+                << "cell " << i << " modified by failed casn";
+        }
+    }
+}
+
+TEST(Kcas, ArgumentOrderDoesNotMatter) {
+    cell a{enc(1)}, b{enc(2)}, c{enc(3)};
+    // Deliberately unsorted target order.
+    op ops[] = {{&c, enc(3), enc(33)}, {&a, enc(1), enc(11)}, {&b, enc(2), enc(22)}};
+    EXPECT_TRUE(mcas_engine::casn(ops, 3));
+    EXPECT_EQ(count_of(a), 11u);
+    EXPECT_EQ(count_of(b), 22u);
+    EXPECT_EQ(count_of(c), 33u);
+}
+
+TEST(Kcas, NoopTransitionAllowed) {
+    cell a{enc(7)}, b{enc(8)}, c{enc(9)};
+    op ops[] = {{&a, enc(7), enc(7)}, {&b, enc(8), enc(8)}, {&c, enc(9), enc(9)}};
+    EXPECT_TRUE(mcas_engine::casn(ops, 3));
+    EXPECT_EQ(count_of(a), 7u);
+}
+
+// Conservation: concurrent 3-way transfers (take 2 from one cell, give 1 to
+// each of two others) must conserve the total.
+TEST(Kcas, ConcurrentThreeWayTransfersConserveSum) {
+    constexpr int threads = 4;
+    constexpr int per_thread = 3000;
+    constexpr int num_cells = 6;
+    constexpr std::uint64_t initial = 1000;
+    std::vector<cell> cells(num_cells);
+    for (auto& c : cells) c.raw().store(enc(initial));
+
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            util::xoshiro256 rng{static_cast<std::uint64_t>(t) * 311 + 7};
+            barrier.arrive_and_wait();
+            for (int i = 0; i < per_thread; ++i) {
+                std::uint64_t idx[3];
+                idx[0] = rng.below(num_cells);
+                idx[1] = (idx[0] + 1 + rng.below(num_cells - 1)) % num_cells;
+                do {
+                    idx[2] = rng.below(num_cells);
+                } while (idx[2] == idx[0] || idx[2] == idx[1]);
+                const auto v0 = mcas_engine::read(cells[idx[0]]);
+                const auto v1 = mcas_engine::read(cells[idx[1]]);
+                const auto v2 = mcas_engine::read(cells[idx[2]]);
+                const auto c0 = dcas::decode_count(v0);
+                if (c0 < 2) continue;
+                op ops[] = {{&cells[idx[0]], v0, enc(c0 - 2)},
+                            {&cells[idx[1]], v1, enc(dcas::decode_count(v1) + 1)},
+                            {&cells[idx[2]], v2, enc(dcas::decode_count(v2) + 1)}};
+                mcas_engine::casn(ops, 3);
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+
+    std::uint64_t sum = 0;
+    for (auto& c : cells) sum += count_of(c);
+    EXPECT_EQ(sum, initial * num_cells);
+}
+
+// All-equal invariant over 4 cells: writers bump all four together; readers
+// snapshot via a no-op casn. Any successful snapshot with unequal values
+// means the 4-word CAS tore.
+TEST(Kcas, FourWordAllEqualInvariant) {
+    constexpr int writers = 3;
+    constexpr int per_thread = 2000;
+    std::vector<cell> cells(4);
+    for (auto& c : cells) c.raw().store(enc(0));
+    std::atomic<bool> stop{false};
+    std::atomic<int> violations{0};
+
+    std::thread reader([&] {
+        while (!stop.load()) {
+            std::uint64_t vals[4];
+            op ops[4];
+            for (int i = 0; i < 4; ++i) {
+                vals[i] = mcas_engine::read(cells[static_cast<std::size_t>(i)]);
+                ops[i] = {&cells[static_cast<std::size_t>(i)], vals[i], vals[i]};
+            }
+            if (mcas_engine::casn(ops, 4)) {
+                for (int i = 1; i < 4; ++i) {
+                    if (vals[i] != vals[0]) violations.fetch_add(1);
+                }
+            }
+        }
+    });
+    std::vector<std::thread> pool;
+    for (int w = 0; w < writers; ++w) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < per_thread; ++i) {
+                for (;;) {
+                    const auto v = mcas_engine::read(cells[0]);
+                    const auto next = enc(dcas::decode_count(v) + 1);
+                    op ops[] = {{&cells[0], v, next},
+                                {&cells[1], v, next},
+                                {&cells[2], v, next},
+                                {&cells[3], v, next}};
+                    if (mcas_engine::casn(ops, 4)) break;
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    stop = true;
+    reader.join();
+    EXPECT_EQ(violations.load(), 0);
+    EXPECT_EQ(count_of(cells[0]), static_cast<std::uint64_t>(writers) * per_thread);
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_EQ(count_of(cells[static_cast<std::size_t>(i)]), count_of(cells[0]));
+    }
+}
+
+}  // namespace

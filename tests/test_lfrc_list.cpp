@@ -1,0 +1,180 @@
+// Tests for the sorted LFRC list set with DCAS-based deletion
+// (containers::lfrc_list_set): set semantics, order, the dead-flag
+// protocol, randomized differential testing against std::set, concurrent
+// conservation, and leak checks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "containers/lfrc_list.hpp"
+#include "lfrc_test_helpers.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+
+template <typename D>
+class LfrcListTest : public ::testing::Test {
+  protected:
+    using set_t = containers::lfrc_list_set<D, std::int64_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(LfrcListTest, Domains);
+
+TYPED_TEST(LfrcListTest, InsertContainsErase) {
+    typename TestFixture::set_t s;
+    EXPECT_FALSE(s.contains(5));
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_FALSE(s.insert(5)) << "duplicate insert must fail";
+    EXPECT_TRUE(s.erase(5));
+    EXPECT_FALSE(s.contains(5));
+    EXPECT_FALSE(s.erase(5)) << "double erase must fail";
+}
+
+TYPED_TEST(LfrcListTest, KeepsSortedOrderInvariant) {
+    typename TestFixture::set_t s;
+    for (std::int64_t k : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0}) EXPECT_TRUE(s.insert(k));
+    EXPECT_EQ(s.size(), 10u);
+    for (std::int64_t k = 0; k < 10; ++k) EXPECT_TRUE(s.contains(k));
+    EXPECT_FALSE(s.contains(10));
+    EXPECT_FALSE(s.contains(-1));
+}
+
+TYPED_TEST(LfrcListTest, EraseMiddleFrontBack) {
+    typename TestFixture::set_t s;
+    for (std::int64_t k = 0; k < 5; ++k) s.insert(k);
+    EXPECT_TRUE(s.erase(2));  // middle
+    EXPECT_TRUE(s.erase(0));  // front
+    EXPECT_TRUE(s.erase(4));  // back
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(3));
+}
+
+TYPED_TEST(LfrcListTest, ReinsertAfterErase) {
+    typename TestFixture::set_t s;
+    for (int round = 0; round < 50; ++round) {
+        EXPECT_TRUE(s.insert(7));
+        EXPECT_TRUE(s.erase(7));
+    }
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TYPED_TEST(LfrcListTest, MatchesStdSetOnRandomTape) {
+    typename TestFixture::set_t s;
+    std::set<std::int64_t> model;
+    util::xoshiro256 rng{321};
+    for (int i = 0; i < 6000; ++i) {
+        const auto key = static_cast<std::int64_t>(rng.below(64));
+        switch (rng.below(3)) {
+            case 0:
+                ASSERT_EQ(s.insert(key), model.insert(key).second) << "op " << i;
+                break;
+            case 1:
+                ASSERT_EQ(s.erase(key), model.erase(key) > 0) << "op " << i;
+                break;
+            default:
+                ASSERT_EQ(s.contains(key), model.count(key) > 0) << "op " << i;
+                break;
+        }
+    }
+    EXPECT_EQ(s.size(), model.size());
+}
+
+TYPED_TEST(LfrcListTest, NoLeaksAfterChurn) {
+    using D = TypeParam;
+    drain_epochs();
+    const auto before = D::counters().snapshot();
+    {
+        typename TestFixture::set_t s;
+        util::xoshiro256 rng{11};
+        for (int i = 0; i < 5000; ++i) {
+            const auto key = static_cast<std::int64_t>(rng.below(128));
+            if (rng.below(2) == 0) {
+                s.insert(key);
+            } else {
+                s.erase(key);
+            }
+        }
+    }
+    drain_epochs();
+    const auto after = D::counters().snapshot();
+    EXPECT_EQ(after.objects_created - before.objects_created,
+              after.objects_destroyed - before.objects_destroyed);
+}
+
+// Concurrent: disjoint key ranges per thread — every thread's inserts and
+// erases must behave as if alone (per-key linearizability).
+TYPED_TEST(LfrcListTest, ConcurrentDisjointRanges) {
+    typename TestFixture::set_t s;
+    constexpr int threads = 4;
+    constexpr int keys_per_thread = 300;
+    std::atomic<int> failures{0};
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            const std::int64_t base = static_cast<std::int64_t>(t) * keys_per_thread;
+            barrier.arrive_and_wait();
+            for (int round = 0; round < 5; ++round) {
+                for (int k = 0; k < keys_per_thread; ++k) {
+                    if (!s.insert(base + k)) failures.fetch_add(1);
+                }
+                for (int k = 0; k < keys_per_thread; ++k) {
+                    if (!s.contains(base + k)) failures.fetch_add(1);
+                }
+                for (int k = 0; k < keys_per_thread; ++k) {
+                    if (!s.erase(base + k)) failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(s.size(), 0u);
+}
+
+// Concurrent: all threads fight over the same small key space; final
+// contents must equal the union of successful inserts minus successful
+// erases (tracked per key with counters).
+TYPED_TEST(LfrcListTest, ConcurrentContendedKeysBalance) {
+    typename TestFixture::set_t s;
+    constexpr int threads = 4;
+    constexpr int key_space = 16;
+    constexpr int iters = 4000;
+    std::vector<std::atomic<int>> balance(key_space);  // +1 insert ok, -1 erase ok
+    for (auto& b : balance) b.store(0);
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            util::xoshiro256 rng{static_cast<std::uint64_t>(t) * 131 + 17};
+            barrier.arrive_and_wait();
+            for (int i = 0; i < iters; ++i) {
+                const auto key = static_cast<std::int64_t>(rng.below(key_space));
+                if (rng.below(2) == 0) {
+                    if (s.insert(key)) balance[static_cast<std::size_t>(key)].fetch_add(1);
+                } else {
+                    if (s.erase(key)) balance[static_cast<std::size_t>(key)].fetch_sub(1);
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    for (int k = 0; k < key_space; ++k) {
+        const int b = balance[static_cast<std::size_t>(k)].load();
+        ASSERT_TRUE(b == 0 || b == 1) << "key " << k << " balance " << b
+                                      << " (duplicate insert or phantom erase)";
+        EXPECT_EQ(s.contains(k), b == 1) << "key " << k;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,360 @@
+// Operation-level tests for the LFRC core (Figure 2 semantics), typed over
+// both DCAS engines. Reference-count bookkeeping is checked deterministically
+// in single-threaded scenarios; multi-threaded churn validates the weakened
+// invariants of §1 (no premature free, eventual reclamation).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+using lfrc_tests::test_node;
+
+template <typename D>
+class LfrcOpsTest : public ::testing::Test {
+  protected:
+    using node_t = test_node<D>;
+    void TearDown() override {
+        drain_epochs();
+        EXPECT_EQ(node_t::live().load(), live_at_start_);
+    }
+    std::int64_t live_at_start_ = test_node<D>::live().load();
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(LfrcOpsTest, Domains);
+
+TYPED_TEST(LfrcOpsTest, MakeStartsWithCountOne) {
+    using D = TypeParam;
+    auto p = D::template make<test_node<D>>(42);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->value, 42);
+    EXPECT_EQ(p->ref_count(), 1u);
+}
+
+TYPED_TEST(LfrcOpsTest, DestroyAtZeroFreesObject) {
+    using D = TypeParam;
+    const auto live_before = test_node<D>::live().load();
+    {
+        auto p = D::template make<test_node<D>>(1);
+        EXPECT_EQ(test_node<D>::live().load(), live_before + 1);
+    }
+    drain_epochs();
+    EXPECT_EQ(test_node<D>::live().load(), live_before);
+}
+
+TYPED_TEST(LfrcOpsTest, StoreIncrementsLoadIncrements) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+
+    auto p = D::template make<node>(7);
+    D::store(shared, p);  // shared pointer now also counts
+    EXPECT_EQ(p->ref_count(), 2u);
+
+    typename D::template local_ptr<node> q;
+    D::load(shared, q);
+    ASSERT_TRUE(q);
+    EXPECT_EQ(q.get(), p.get());
+    EXPECT_EQ(p->ref_count(), 3u);
+
+    D::store(shared, static_cast<node*>(nullptr));  // destroys shared's count
+    EXPECT_EQ(p->ref_count(), 2u);
+    q.reset();
+    EXPECT_EQ(p->ref_count(), 1u);
+}
+
+TYPED_TEST(LfrcOpsTest, LoadFromNullGivesNullAndDropsOld) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;  // null-initialized (step 6)
+
+    auto p = D::template make<node>(3);
+    typename D::template local_ptr<node> dest = p;  // copy: count 2
+    EXPECT_EQ(p->ref_count(), 2u);
+    D::load(shared, dest);
+    EXPECT_FALSE(dest);
+    EXPECT_EQ(p->ref_count(), 1u) << "old value of dest must be destroyed (line 12)";
+}
+
+TYPED_TEST(LfrcOpsTest, LoadOverwritesAndDestroysPrevious) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    auto a = D::template make<node>(1);
+    auto b = D::template make<node>(2);
+    D::store(shared, a);
+
+    typename D::template local_ptr<node> dest = b;
+    EXPECT_EQ(b->ref_count(), 2u);
+    D::load(shared, dest);
+    EXPECT_EQ(dest.get(), a.get());
+    EXPECT_EQ(a->ref_count(), 3u);
+    EXPECT_EQ(b->ref_count(), 1u);
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(LfrcOpsTest, CopySemantics) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    auto a = D::template make<node>(1);
+    auto b = D::template make<node>(2);
+
+    typename D::template local_ptr<node> x = a;  // copy ctor = LFRCCopy
+    EXPECT_EQ(a->ref_count(), 2u);
+    D::copy(x, b.get());
+    EXPECT_EQ(a->ref_count(), 1u);
+    EXPECT_EQ(b->ref_count(), 2u);
+    D::copy(x, static_cast<node*>(nullptr));
+    EXPECT_EQ(b->ref_count(), 1u);
+    EXPECT_FALSE(x);
+}
+
+TYPED_TEST(LfrcOpsTest, MoveTransfersWithoutCountChange) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    auto a = D::template make<node>(1);
+    EXPECT_EQ(a->ref_count(), 1u);
+    typename D::template local_ptr<node> b = std::move(a);
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): asserting post-move state
+    EXPECT_EQ(b->ref_count(), 1u);
+}
+
+TYPED_TEST(LfrcOpsTest, CasSuccessDestroysOldFailureCompensates) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    auto a = D::template make<node>(1);
+    auto b = D::template make<node>(2);
+    D::store(shared, a);
+    EXPECT_EQ(a->ref_count(), 2u);
+
+    // Failure: counts unchanged afterwards.
+    EXPECT_FALSE(D::cas(shared, b.get(), b.get()));
+    EXPECT_EQ(a->ref_count(), 2u);
+    EXPECT_EQ(b->ref_count(), 1u);
+
+    // Success: old's shared count destroyed, new's raised.
+    EXPECT_TRUE(D::cas(shared, a.get(), b.get()));
+    EXPECT_EQ(a->ref_count(), 1u);
+    EXPECT_EQ(b->ref_count(), 2u);
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(LfrcOpsTest, CasToNullAndFromNull) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    auto a = D::template make<node>(1);
+    EXPECT_TRUE(D::cas(shared, static_cast<node*>(nullptr), a.get()));
+    EXPECT_EQ(a->ref_count(), 2u);
+    EXPECT_TRUE(D::cas(shared, a.get(), static_cast<node*>(nullptr)));
+    EXPECT_EQ(a->ref_count(), 1u);
+}
+
+TYPED_TEST(LfrcOpsTest, DcasSuccessAndFailureBookkeeping) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> f0;
+    typename D::template ptr_field<node> f1;
+    auto a = D::template make<node>(1);
+    auto b = D::template make<node>(2);
+    auto c = D::template make<node>(3);
+    D::store(f0, a);
+    D::store(f1, b);
+    EXPECT_EQ(a->ref_count(), 2u);
+    EXPECT_EQ(b->ref_count(), 2u);
+
+    // Failure (f1 mismatch): all counts restored.
+    EXPECT_FALSE(D::dcas(f0, f1, a.get(), c.get(), c.get(), c.get()));
+    EXPECT_EQ(a->ref_count(), 2u);
+    EXPECT_EQ(b->ref_count(), 2u);
+    EXPECT_EQ(c->ref_count(), 1u);
+
+    // Success: both old counts dropped, both new counts raised.
+    EXPECT_TRUE(D::dcas(f0, f1, a.get(), b.get(), c.get(), c.get()));
+    EXPECT_EQ(a->ref_count(), 1u);
+    EXPECT_EQ(b->ref_count(), 1u);
+    EXPECT_EQ(c->ref_count(), 3u);
+    D::store(f0, static_cast<node*>(nullptr));
+    D::store(f1, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(LfrcOpsTest, StoreAllocTransfersBirthCount) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    D::store_alloc(shared, D::template make<node>(9));
+    auto p = D::load_get(shared);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->value, 9);
+    // Count: 1 (shared, from birth) + 1 (our load) — store_alloc added none.
+    EXPECT_EQ(p->ref_count(), 2u);
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(LfrcOpsTest, DestroyChainIterativeNoOverflow) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    constexpr int chain = 200'000;  // recursion would overflow the stack
+    const auto live_before = node::live().load();
+    {
+        typename D::template local_ptr<node> head;
+        for (int i = 0; i < chain; ++i) {
+            auto n = D::template make<node>(i);
+            D::store(n->next, head);
+            head = std::move(n);
+        }
+        EXPECT_EQ(node::live().load(), live_before + chain);
+    }  // head's destructor tears down the whole chain
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+TYPED_TEST(LfrcOpsTest, SharedTailDestroyedOnlyWhenLastChainDies) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    // Two chains converging on a shared tail (DAG, not a cycle).
+    auto tail = D::template make<node>(0);
+    auto a = D::template make<node>(1);
+    auto b = D::template make<node>(2);
+    D::store(a->next, tail);
+    D::store(b->next, tail);
+    EXPECT_EQ(tail->ref_count(), 3u);
+    node* tail_raw = tail.get();
+    tail.reset();
+    a.reset();
+    drain_epochs();
+    // b still reaches the tail.
+    EXPECT_EQ(tail_raw->ref_count(), 1u);
+    ASSERT_TRUE(b->next.exclusive_get() == tail_raw);
+    b.reset();
+    drain_epochs();
+}
+
+TYPED_TEST(LfrcOpsTest, CounterLedgerBalancesAtQuiescence) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    const auto before = D::counters().snapshot();
+    {
+        typename D::template ptr_field<node> shared;
+        for (int i = 0; i < 100; ++i) {
+            auto p = D::template make<node>(i);
+            D::store(shared, p);
+            auto q = D::load_get(shared);
+            D::cas(shared, q.get(), p.get());
+        }
+        D::store(shared, static_cast<node*>(nullptr));
+    }
+    drain_epochs();
+    const auto after = D::counters().snapshot();
+    const auto created = after.objects_created - before.objects_created;
+    const auto destroyed = after.objects_destroyed - before.objects_destroyed;
+    const auto incs = after.increments - before.increments;
+    const auto decs = after.decrements - before.decrements;
+    EXPECT_EQ(created, destroyed);
+    // Every object is born with one count (not an "increment"); at
+    // quiescence with zero live objects: births + increments == decrements.
+    EXPECT_EQ(created + incs, decs);
+}
+
+// Multi-threaded churn on a single shared pointer: loads, stores, CASes.
+// Checks the two §1 invariants: objects never freed while referenced
+// (use-after-free would crash / corrupt `value`), and everything reclaimed
+// at quiescence.
+TYPED_TEST(LfrcOpsTest, ConcurrentChurnPreservesInvariants) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    constexpr int threads = 4;
+    constexpr int iters = 8000;
+    const auto live_before = node::live().load();
+    {
+        typename D::template ptr_field<node> shared;
+        D::store_alloc(shared, D::template make<node>(0));
+        util::spin_barrier barrier{threads};
+        std::atomic<int> corrupt{0};
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                util::xoshiro256 rng{static_cast<std::uint64_t>(t) * 7919 + 1};
+                barrier.arrive_and_wait();
+                typename D::template local_ptr<node> mine;
+                for (int i = 0; i < iters; ++i) {
+                    switch (rng.below(3)) {
+                        case 0: {
+                            D::load(shared, mine);
+                            if (mine && (mine->value < 0 || mine->value > 1'000'000)) {
+                                corrupt.fetch_add(1);
+                            }
+                            break;
+                        }
+                        case 1: {
+                            auto fresh = D::template make<node>(t * 10000 + i % 1000);
+                            D::store(shared, fresh);
+                            break;
+                        }
+                        default: {
+                            D::load(shared, mine);
+                            auto fresh = D::template make<node>(i % 1000);
+                            D::cas(shared, mine.get(), fresh.get());
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+        EXPECT_EQ(corrupt.load(), 0);
+        D::store(shared, static_cast<node*>(nullptr));
+    }
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+// Two fields, concurrent DCAS swaps between them plus loads; at the end the
+// two originally stored objects must both still be alive exactly once.
+TYPED_TEST(LfrcOpsTest, ConcurrentDcasSwapKeepsBothObjects) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    constexpr int threads = 4;
+    constexpr int iters = 4000;
+    typename D::template ptr_field<node> f0;
+    typename D::template ptr_field<node> f1;
+    auto a = D::template make<node>(111);
+    auto b = D::template make<node>(222);
+    D::store(f0, a);
+    D::store(f1, b);
+
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            barrier.arrive_and_wait();
+            typename D::template local_ptr<node> x, y;
+            for (int i = 0; i < iters; ++i) {
+                D::load(f0, x);
+                D::load(f1, y);
+                D::dcas(f0, f1, x.get(), y.get(), y.get(), x.get());
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+
+    auto final0 = D::load_get(f0);
+    auto final1 = D::load_get(f1);
+    ASSERT_TRUE(final0);
+    ASSERT_TRUE(final1);
+    EXPECT_NE(final0.get(), final1.get());
+    EXPECT_EQ(final0->value + final1->value, 333);
+    D::store(f0, static_cast<node*>(nullptr));
+    D::store(f1, static_cast<node*>(nullptr));
+}
+
+}  // namespace

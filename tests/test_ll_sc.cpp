@@ -1,0 +1,160 @@
+// Tests for the LL/SC extension (§2.1): semantics, version discipline,
+// ABA immunity, reference-count bookkeeping, and a lock-free update loop.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+using lfrc_tests::test_node;
+
+template <typename D>
+class LlScTest : public ::testing::Test {
+  protected:
+    using node_t = test_node<D>;
+    using field = typename D::template ll_field<node_t>;
+    using local = typename D::template local_ptr<node_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(LlScTest, Domains);
+
+TYPED_TEST(LlScTest, LoadLinkedReadsAndCounts) {
+    using F = TestFixture;
+    typename F::field A;
+    auto v = TypeParam::template make<typename F::node_t>(9);
+    TypeParam::ll_store(A, v.get());
+    EXPECT_EQ(v->ref_count(), 2u);
+
+    typename F::local p;
+    TypeParam::load_linked(A, p);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->value, 9);
+    EXPECT_EQ(v->ref_count(), 3u);
+    TypeParam::ll_store(A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(LlScTest, StoreConditionalSucceedsUndisturbed) {
+    using F = TestFixture;
+    typename F::field A;
+    auto v = TypeParam::template make<typename F::node_t>(1);
+    auto w = TypeParam::template make<typename F::node_t>(2);
+    TypeParam::ll_store(A, v.get());
+
+    typename F::local p;
+    const auto token = TypeParam::load_linked(A, p);
+    EXPECT_TRUE(TypeParam::store_conditional(A, token, p.get(), w.get()));
+    EXPECT_EQ(v->ref_count(), 2u);  // v: local v + local p (A's count destroyed)
+    EXPECT_EQ(w->ref_count(), 2u);  // w: local w + A
+    TypeParam::ll_store(A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(LlScTest, StoreConditionalFailsAfterInterveningWrite) {
+    using F = TestFixture;
+    typename F::field A;
+    auto v = TypeParam::template make<typename F::node_t>(1);
+    auto w = TypeParam::template make<typename F::node_t>(2);
+    TypeParam::ll_store(A, v.get());
+
+    typename F::local p;
+    const auto token = TypeParam::load_linked(A, p);
+    TypeParam::ll_store(A, w.get());  // intervening write
+    EXPECT_FALSE(TypeParam::store_conditional(A, token, p.get(), v.get()));
+    EXPECT_EQ(w->ref_count(), 2u) << "failed SC must leave the field untouched";
+    EXPECT_EQ(v->ref_count(), 2u) << "failed SC must compensate its increment";
+    TypeParam::ll_store(A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(LlScTest, AbaRewriteIsDetected) {
+    // The scenario plain CAS cannot catch: A -> B -> A again. The version
+    // cell makes the second store visible to the stale SC.
+    using F = TestFixture;
+    typename F::field A;
+    auto v = TypeParam::template make<typename F::node_t>(1);
+    auto w = TypeParam::template make<typename F::node_t>(2);
+    TypeParam::ll_store(A, v.get());
+
+    typename F::local p;
+    const auto token = TypeParam::load_linked(A, p);
+    TypeParam::ll_store(A, w.get());  // A -> w
+    TypeParam::ll_store(A, v.get());  // w -> v: same pointer value as at LL!
+    EXPECT_FALSE(TypeParam::store_conditional(A, token, p.get(), w.get()))
+        << "SC must fail on ABA even though the pointer compares equal";
+    TypeParam::ll_store(A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(LlScTest, SecondScWithSameTokenFails) {
+    using F = TestFixture;
+    typename F::field A;
+    auto v = TypeParam::template make<typename F::node_t>(1);
+    TypeParam::ll_store(A, v.get());
+    typename F::local p;
+    const auto token = TypeParam::load_linked(A, p);
+    EXPECT_TRUE(TypeParam::store_conditional(A, token, p.get(), p.get()));
+    EXPECT_FALSE(TypeParam::store_conditional(A, token, p.get(), p.get()))
+        << "a token is good for at most one successful SC";
+    TypeParam::ll_store(A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(LlScTest, NullFieldRoundTrip) {
+    using F = TestFixture;
+    typename F::field A;
+    typename F::local p = TypeParam::template make<typename F::node_t>(3);
+    typename F::local got;
+    const auto token = TypeParam::load_linked(A, got);
+    EXPECT_FALSE(got);
+    EXPECT_TRUE(TypeParam::store_conditional(
+        A, token, static_cast<typename F::node_t*>(nullptr), p.get()));
+    TypeParam::load_linked(A, got);
+    EXPECT_EQ(got.get(), p.get());
+    TypeParam::ll_store(A, static_cast<typename F::node_t*>(nullptr));
+}
+
+// LL/SC update loop under contention: N threads replace the shared node
+// with one carrying value+1; total increments must be exact and no node
+// may leak.
+TYPED_TEST(LlScTest, ConcurrentUpdateLoopExactAndLeakFree) {
+    using F = TestFixture;
+    using node = typename F::node_t;
+    drain_epochs();
+    const auto live_before = node::live().load();
+    constexpr int threads = 4;
+    constexpr int per_thread = 3000;
+    {
+        typename F::field A;
+        TypeParam::ll_store(A, TypeParam::template make<node>(0).get());
+        util::spin_barrier barrier{threads};
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+                barrier.arrive_and_wait();
+                typename F::local cur;
+                for (int i = 0; i < per_thread; ++i) {
+                    for (;;) {
+                        const auto token = TypeParam::load_linked(A, cur);
+                        auto next = TypeParam::template make<node>(cur->value + 1);
+                        if (TypeParam::store_conditional(A, token, cur.get(),
+                                                         next.get())) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+        typename F::local final_node;
+        TypeParam::load_linked(A, final_node);
+        EXPECT_EQ(final_node->value, static_cast<std::int64_t>(threads) * per_thread);
+        TypeParam::ll_store(A, static_cast<node*>(nullptr));
+    }
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+}  // namespace

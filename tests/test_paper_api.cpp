@@ -1,0 +1,174 @@
+// Line-by-line exercise of the paper-literal API (Figure 2 / §2.2) through
+// lfrc::paper_api — the names, argument shapes, and count effects the paper
+// specifies, checked against both engines.
+#include <gtest/gtest.h>
+
+#include "lfrc_test_helpers.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+using lfrc_tests::test_node;
+
+template <typename D>
+class PaperApiTest : public ::testing::Test {
+  protected:
+    using api = paper_api<D>;
+    using node_t = test_node<D>;
+    using shared = typename D::template ptr_field<node_t>;
+    using local = typename D::template local_ptr<node_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(PaperApiTest, Domains);
+
+TYPED_TEST(PaperApiTest, LFRCLoadCopiesSharedToLocal) {
+    using F = TestFixture;
+    typename F::shared A;
+    auto v = TypeParam::template make<typename F::node_t>(5);
+    F::api::LFRCStore(&A, v);
+
+    typename F::local p;  // "initialized to NULL before use" (§3 step 6)
+    F::api::LFRCLoad(&A, &p);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->value, 5);
+    EXPECT_EQ(v->ref_count(), 3u);  // v, A, p
+    F::api::LFRCStore(&A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(PaperApiTest, LFRCStoreReplacesAndCompensates) {
+    using F = TestFixture;
+    typename F::shared A;
+    auto x = TypeParam::template make<typename F::node_t>(1);
+    auto y = TypeParam::template make<typename F::node_t>(2);
+    F::api::LFRCStore(&A, x);
+    EXPECT_EQ(x->ref_count(), 2u);
+    F::api::LFRCStore(&A, y);
+    EXPECT_EQ(x->ref_count(), 1u) << "the overwritten pointer must be destroyed (line 27)";
+    EXPECT_EQ(y->ref_count(), 2u);
+    F::api::LFRCStore(&A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(PaperApiTest, LFRCCopyAdjustsBothCounts) {
+    using F = TestFixture;
+    auto x = TypeParam::template make<typename F::node_t>(1);
+    auto y = TypeParam::template make<typename F::node_t>(2);
+    typename F::local p;
+    F::api::LFRCCopy(&p, x);
+    EXPECT_EQ(x->ref_count(), 2u);  // lines 29..30
+    F::api::LFRCCopy(&p, y);
+    EXPECT_EQ(x->ref_count(), 1u);  // line 31: destroy previous
+    EXPECT_EQ(y->ref_count(), 2u);
+}
+
+TYPED_TEST(PaperApiTest, LFRCDestroyMultiArgShorthand) {
+    using F = TestFixture;
+    using node = typename F::node_t;
+    drain_epochs();  // flush earlier tests' deferred frees first
+    const auto live_before = node::live().load();
+    auto a = TypeParam::template make<node>(1);
+    auto b = TypeParam::template make<node>(2);
+    node* ra = a.release();
+    node* rb = b.release();
+    F::api::LFRCDestroy(ra, rb, static_cast<node*>(nullptr));
+    drain_epochs();
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+TYPED_TEST(PaperApiTest, LFRCCASBehavesPerFigure2) {
+    using F = TestFixture;
+    typename F::shared A;
+    auto x = TypeParam::template make<typename F::node_t>(1);
+    auto y = TypeParam::template make<typename F::node_t>(2);
+    F::api::LFRCStore(&A, x);
+    EXPECT_FALSE(F::api::LFRCCAS(&A, y.get(), y.get()));
+    EXPECT_EQ(y->ref_count(), 1u) << "failed CAS must compensate its early increment";
+    EXPECT_TRUE(F::api::LFRCCAS(&A, x.get(), y.get()));
+    EXPECT_EQ(x->ref_count(), 1u);
+    EXPECT_EQ(y->ref_count(), 2u);
+    F::api::LFRCStore(&A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(PaperApiTest, LFRCDCASBehavesPerFigure2) {
+    using F = TestFixture;
+    typename F::shared A0, A1;
+    auto x = TypeParam::template make<typename F::node_t>(1);
+    auto y = TypeParam::template make<typename F::node_t>(2);
+    F::api::LFRCStore(&A0, x);
+    F::api::LFRCStore(&A1, y);
+
+    // Failure: lines 38..39 — both new counts compensated.
+    EXPECT_FALSE(F::api::LFRCDCAS(&A0, &A1, x.get(), x.get(), y.get(), x.get()));
+    EXPECT_EQ(x->ref_count(), 2u);
+    EXPECT_EQ(y->ref_count(), 2u);
+
+    // Success: lines 36..37 — old pointers destroyed, new ones counted.
+    EXPECT_TRUE(F::api::LFRCDCAS(&A0, &A1, x.get(), y.get(), y.get(), x.get()));
+    EXPECT_EQ(x->ref_count(), 2u);  // now in A1
+    EXPECT_EQ(y->ref_count(), 2u);  // now in A0
+    F::api::LFRCStore(&A0, static_cast<typename F::node_t*>(nullptr));
+    F::api::LFRCStore(&A1, static_cast<typename F::node_t*>(nullptr));
+    EXPECT_EQ(x->ref_count(), 1u);
+    EXPECT_EQ(y->ref_count(), 1u);
+}
+
+TYPED_TEST(PaperApiTest, LFRCStoreAllocSkipsIncrement) {
+    using F = TestFixture;
+    typename F::shared A;
+    F::api::LFRCStoreAlloc(&A, TypeParam::template make<typename F::node_t>(9));
+    typename F::local p;
+    F::api::LFRCLoad(&A, &p);
+    EXPECT_EQ(p->ref_count(), 2u);  // A (birth count, transferred) + p
+    F::api::LFRCStore(&A, static_cast<typename F::node_t*>(nullptr));
+}
+
+TYPED_TEST(PaperApiTest, AddToRcReturnsOldCount) {
+    using F = TestFixture;
+    auto x = TypeParam::template make<typename F::node_t>(3);
+    EXPECT_EQ(F::api::add_to_rc(x.get(), 1), 1);
+    EXPECT_EQ(F::api::add_to_rc(x.get(), 1), 2);
+    EXPECT_EQ(F::api::add_to_rc(x.get(), -1), 3);
+    EXPECT_EQ(F::api::add_to_rc(x.get(), -1), 2);
+    EXPECT_EQ(x->ref_count(), 1u);
+}
+
+// Table 1, row by row: original pointer operation -> LFRC replacement.
+TYPED_TEST(PaperApiTest, Table1ReplacementsCompose) {
+    using F = TestFixture;
+    using node = typename F::node_t;
+    typename F::shared A0;
+    typename F::local x0, x1;
+
+    // x0 = *A0;               ->  LFRCLoad(A0, &x0);
+    F::api::LFRCLoad(&A0, &x0);
+    EXPECT_FALSE(x0);
+
+    // *A0 = x0;               ->  LFRCStore(A0, x0);
+    auto fresh = TypeParam::template make<node>(4);
+    F::api::LFRCCopy(&x0, fresh);     // x0 = x1 -> LFRCCopy(&x0, x1)
+    F::api::LFRCStore(&A0, x0);
+    // CAS(A0, old0, new0)     ->  LFRCCAS(A0, old0, new0)
+    EXPECT_TRUE(F::api::LFRCCAS(&A0, x0.get(), x0.get()));
+
+    // *A0 = *A1 (non-atomic!) ->  the explicit load/store/destroy sequence
+    // from §3 step 5's note:
+    typename F::shared A1;
+    F::api::LFRCStore(&A1, x0);
+    {
+        node* x = nullptr;
+        typename F::local tmp;
+        F::api::LFRCLoad(&A1, &tmp);
+        x = tmp.release();
+        F::api::LFRCStore(&A0, x);
+        F::api::LFRCDestroy(x);
+    }
+    typename F::local check;
+    F::api::LFRCLoad(&A0, &check);
+    EXPECT_EQ(check.get(), x0.get());
+
+    F::api::LFRCStore(&A0, static_cast<node*>(nullptr));
+    F::api::LFRCStore(&A1, static_cast<node*>(nullptr));
+}
+
+}  // namespace

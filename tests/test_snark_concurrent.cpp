@@ -1,0 +1,213 @@
+// Concurrent stress for the LFRC Snark deque: token conservation (every
+// pushed token popped at most once, all accounted for at the end), memory
+// reclamation at quiescence, and mixed producer/consumer shapes.
+//
+// NOTE on the published algorithm: Snark has a post-publication double-pop
+// bug (Doherty et al. 2004) requiring a very specific 2+-thread interleaving.
+// These tests check conservation exactly; if the bug ever reproduces here it
+// fails loudly — see snark_fixed.hpp and DESIGN.md §3.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "snark/snark_lfrc.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+
+template <typename D>
+class SnarkConcurrentTest : public ::testing::Test {
+  protected:
+    using deque_t = snark::snark_deque<D, std::int64_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(SnarkConcurrentTest, Domains);
+
+// Each thread pushes tokens with a unique tag and everyone pops; at the end
+// every token must be seen exactly once across pops + leftovers.
+template <typename deque_t>
+void conservation_run(int threads, int per_thread, std::uint64_t seed_base) {
+    deque_t dq;
+    const std::int64_t total = static_cast<std::int64_t>(threads) * per_thread;
+    std::vector<std::atomic<int>> seen(static_cast<std::size_t>(total));
+    for (auto& s : seen) s.store(0);
+    std::atomic<std::int64_t> popped{0};
+
+    util::spin_barrier barrier{static_cast<std::size_t>(threads)};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            util::xoshiro256 rng{seed_base + static_cast<std::uint64_t>(t)};
+            barrier.arrive_and_wait();
+            std::int64_t next = static_cast<std::int64_t>(t) * per_thread;
+            const std::int64_t limit = next + per_thread;
+            while (next < limit) {
+                // Bias towards pushes so the deque keeps content.
+                if (rng.below(100) < 55) {
+                    if (rng.below(2) == 0) {
+                        dq.push_left(next);
+                    } else {
+                        dq.push_right(next);
+                    }
+                    ++next;
+                } else {
+                    const auto got = rng.below(2) == 0 ? dq.pop_left() : dq.pop_right();
+                    if (got) {
+                        seen[static_cast<std::size_t>(*got)].fetch_add(1);
+                        popped.fetch_add(1);
+                    }
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+
+    // Drain the remainder single-threaded.
+    while (auto got = dq.pop_left()) {
+        seen[static_cast<std::size_t>(*got)].fetch_add(1);
+        popped.fetch_add(1);
+    }
+    EXPECT_EQ(popped.load(), total);
+    for (std::int64_t i = 0; i < total; ++i) {
+        ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1)
+            << "token " << i << " popped " << seen[static_cast<std::size_t>(i)].load()
+            << " times (duplicate or lost)";
+    }
+}
+
+TYPED_TEST(SnarkConcurrentTest, TokenConservationMixedEnds) {
+    conservation_run<typename TestFixture::deque_t>(4, 4000, 101);
+}
+
+TYPED_TEST(SnarkConcurrentTest, TokenConservationManySmallRounds) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        conservation_run<typename TestFixture::deque_t>(3, 1200, 500 + seed * 97);
+    }
+}
+
+// Dedicated producers on one end, consumers on the other: FIFO pipeline
+// shape; per-producer order must be preserved.
+TYPED_TEST(SnarkConcurrentTest, PipelinePreservesPerProducerOrder) {
+    typename TestFixture::deque_t dq;
+    constexpr int producers = 2;
+    constexpr int consumers = 2;
+    constexpr int per_producer = 5000;
+
+    std::atomic<std::int64_t> consumed{0};
+    std::vector<std::atomic<std::int64_t>> last_seen(producers);
+    for (auto& l : last_seen) l.store(-1);
+    std::atomic<int> order_violations{0};
+    util::spin_barrier barrier{producers + consumers};
+
+    std::vector<std::thread> pool;
+    for (int p = 0; p < producers; ++p) {
+        pool.emplace_back([&, p] {
+            barrier.arrive_and_wait();
+            for (int i = 0; i < per_producer; ++i) {
+                dq.push_right(static_cast<std::int64_t>(p) * per_producer + i);
+            }
+        });
+    }
+    for (int c = 0; c < consumers; ++c) {
+        pool.emplace_back([&] {
+            barrier.arrive_and_wait();
+            while (consumed.load() < static_cast<std::int64_t>(producers) * per_producer) {
+                const auto got = dq.pop_left();
+                if (!got) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                consumed.fetch_add(1);
+                const auto producer = *got / per_producer;
+                const auto index = *got % per_producer;
+                // Monotonically record the max index per producer; with
+                // multiple consumers pops may complete out of order, so only
+                // gross violations (same index twice) are detectable here.
+                auto& last = last_seen[static_cast<std::size_t>(producer)];
+                std::int64_t prev = last.load();
+                while (prev < index && !last.compare_exchange_weak(prev, index)) {}
+                if (prev == index) order_violations.fetch_add(1);  // duplicate pop
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    EXPECT_EQ(order_violations.load(), 0);
+    EXPECT_EQ(consumed.load(), static_cast<std::int64_t>(producers) * per_producer);
+    EXPECT_TRUE(dq.empty());
+}
+
+// All nodes must be reclaimed once the deque is destroyed and epochs drain,
+// even after heavy concurrent churn (the paper's "no memory leaks" claim).
+TYPED_TEST(SnarkConcurrentTest, NoLeaksAfterConcurrentChurn) {
+    using D = TypeParam;
+    const auto before = D::counters().snapshot();
+    {
+        typename TestFixture::deque_t dq;
+        constexpr int threads = 4;
+        util::spin_barrier barrier{threads};
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                util::xoshiro256 rng{static_cast<std::uint64_t>(t) + 31};
+                barrier.arrive_and_wait();
+                for (int i = 0; i < 6000; ++i) {
+                    switch (rng.below(4)) {
+                        case 0: dq.push_left(i); break;
+                        case 1: dq.push_right(i); break;
+                        case 2: dq.pop_left(); break;
+                        default: dq.pop_right(); break;
+                    }
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+    }
+    drain_epochs();
+    const auto after = D::counters().snapshot();
+    EXPECT_EQ(after.objects_created - before.objects_created,
+              after.objects_destroyed - before.objects_destroyed)
+        << "some snodes were never reclaimed";
+}
+
+// Alternating empty/full transitions under concurrency: exercises the
+// Dummy<->node sentinel hand-offs where hats can cross.
+TYPED_TEST(SnarkConcurrentTest, EmptyTransitionChurn) {
+    typename TestFixture::deque_t dq;
+    constexpr int threads = 4;
+    constexpr int iters = 5000;
+    std::atomic<std::int64_t> pushed{0}, popped{0};
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            barrier.arrive_and_wait();
+            for (int i = 0; i < iters; ++i) {
+                if ((i + t) & 1) {
+                    if ((i & 2) != 0) {
+                        dq.push_left(1);
+                    } else {
+                        dq.push_right(1);
+                    }
+                    pushed.fetch_add(1);
+                } else {
+                    const auto got = (i & 2) != 0 ? dq.pop_left() : dq.pop_right();
+                    if (got) popped.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    std::int64_t rest = 0;
+    while (dq.pop_right()) ++rest;
+    EXPECT_EQ(pushed.load(), popped.load() + rest);
+}
+
+}  // namespace

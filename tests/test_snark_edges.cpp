@@ -1,0 +1,185 @@
+// Edge-state tests for the LFRC Snark deque: sentinel transitions, crossed
+// hats, refcount expectations on internal nodes, destructor behaviour on
+// every reachable shape, and the mutex baseline's semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "snark/mutex_deque.hpp"
+#include "snark/snark_lfrc.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+
+template <typename D>
+class SnarkEdgeTest : public ::testing::Test {
+  protected:
+    using deque_t = snark::snark_deque<D, std::int64_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(SnarkEdgeTest, Domains);
+
+TYPED_TEST(SnarkEdgeTest, EmptyPopsFromBothEndsRepeatedly) {
+    typename TestFixture::deque_t dq;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(dq.pop_left(), std::nullopt);
+        EXPECT_EQ(dq.pop_right(), std::nullopt);
+    }
+    EXPECT_TRUE(dq.empty());
+}
+
+TYPED_TEST(SnarkEdgeTest, AlternatingSingleElementAllPaths) {
+    // Drives every single-node transition: push from each side followed by
+    // pop from each side, repeatedly, so both hats repeatedly pass through
+    // Dummy in all four combinations.
+    typename TestFixture::deque_t dq;
+    for (int round = 0; round < 200; ++round) {
+        switch (round % 4) {
+            case 0:
+                dq.push_left(round);
+                EXPECT_EQ(dq.pop_left(), round);
+                break;
+            case 1:
+                dq.push_left(round);
+                EXPECT_EQ(dq.pop_right(), round);
+                break;
+            case 2:
+                dq.push_right(round);
+                EXPECT_EQ(dq.pop_left(), round);
+                break;
+            default:
+                dq.push_right(round);
+                EXPECT_EQ(dq.pop_right(), round);
+                break;
+        }
+        EXPECT_TRUE(dq.empty()) << "round " << round;
+    }
+}
+
+TYPED_TEST(SnarkEdgeTest, TwoElementCrossPops) {
+    typename TestFixture::deque_t dq;
+    for (int round = 0; round < 100; ++round) {
+        dq.push_left(1);
+        dq.push_right(2);
+        EXPECT_EQ(dq.pop_right(), 2);
+        EXPECT_EQ(dq.pop_right(), 1);
+        dq.push_right(3);
+        dq.push_left(4);
+        EXPECT_EQ(dq.pop_left(), 4);
+        EXPECT_EQ(dq.pop_left(), 3);
+    }
+}
+
+TYPED_TEST(SnarkEdgeTest, DrainFromOppositeEndOfFill) {
+    typename TestFixture::deque_t dq;
+    constexpr int n = 300;
+    for (int i = 0; i < n; ++i) dq.push_left(i);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(dq.pop_right(), i);
+    for (int i = 0; i < n; ++i) dq.push_right(i);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(dq.pop_left(), i);
+}
+
+TYPED_TEST(SnarkEdgeTest, DestructorOnEveryShape) {
+    using D = TypeParam;
+    // Destroy deques in: empty, 1-node, many-node, and popped-back-to-empty
+    // states; the ledger must balance every time.
+    for (int shape = 0; shape < 4; ++shape) {
+        drain_epochs();
+        const auto before = D::counters().snapshot();
+        {
+            typename TestFixture::deque_t dq;
+            switch (shape) {
+                case 0: break;  // empty
+                case 1: dq.push_right(1); break;
+                case 2:
+                    for (int i = 0; i < 100; ++i) dq.push_left(i);
+                    break;
+                default:
+                    for (int i = 0; i < 50; ++i) dq.push_right(i);
+                    while (dq.pop_left()) {}
+                    break;
+            }
+        }
+        drain_epochs();
+        const auto after = D::counters().snapshot();
+        EXPECT_EQ(after.objects_created - before.objects_created,
+                  after.objects_destroyed - before.objects_destroyed)
+            << "shape " << shape;
+    }
+}
+
+TYPED_TEST(SnarkEdgeTest, ValuesSurviveHeavyInterleaving) {
+    // Two threads ping-pong values through a 1-2 element deque; values must
+    // never be corrupted (would indicate a node freed while referenced).
+    typename TestFixture::deque_t dq;
+    std::atomic<int> corrupt{0};
+    std::atomic<bool> stop{false};
+    std::thread a([&] {
+        for (int i = 0; i < 20000; ++i) {
+            dq.push_left(1000 + (i % 100));
+            const auto got = dq.pop_right();
+            if (got && (*got < 1000 || *got >= 1100)) corrupt.fetch_add(1);
+        }
+        stop = true;
+    });
+    std::thread b([&] {
+        while (!stop.load()) {
+            dq.push_right(1000 + 50);
+            const auto got = dq.pop_left();
+            if (got && (*got < 1000 || *got >= 1100)) corrupt.fetch_add(1);
+        }
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(corrupt.load(), 0);
+    while (dq.pop_left()) {}
+}
+
+// ---- mutex_deque baseline ------------------------------------------------------
+
+TEST(MutexDeque, BasicSemantics) {
+    snark::mutex_deque<int> dq;
+    EXPECT_TRUE(dq.empty());
+    EXPECT_EQ(dq.size(), 0u);
+    dq.push_left(1);
+    dq.push_right(2);
+    dq.push_left(0);
+    EXPECT_EQ(dq.size(), 3u);
+    EXPECT_EQ(dq.pop_left(), 0);
+    EXPECT_EQ(dq.pop_right(), 2);
+    EXPECT_EQ(dq.pop_right(), 1);
+    EXPECT_EQ(dq.pop_left(), std::nullopt);
+}
+
+TEST(MutexDeque, ConcurrentConservation) {
+    snark::mutex_deque<std::int64_t> dq;
+    constexpr int threads = 4;
+    constexpr int per_thread = 5000;
+    std::atomic<std::int64_t> pushed{0}, popped{0};
+    util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            barrier.arrive_and_wait();
+            for (int i = 0; i < per_thread; ++i) {
+                if ((i + t) % 2 == 0) {
+                    dq.push_right(i);
+                    pushed.fetch_add(1);
+                } else if (dq.pop_left()) {
+                    popped.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    while (dq.pop_left()) popped.fetch_add(1);
+    EXPECT_EQ(pushed.load(), popped.load());
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Tests for the value-claiming Snark variant (snark_fixed.hpp): identical
+// functional behaviour to the published algorithm, plus heavier conservation
+// stress — the variant exists precisely to make double-pops impossible.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "snark/snark_fixed.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+
+template <typename D>
+class SnarkFixedTest : public ::testing::Test {
+  protected:
+    using deque_t = snark::snark_deque_fixed<D>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(SnarkFixedTest, Domains);
+
+TYPED_TEST(SnarkFixedTest, BasicSequentialSemantics) {
+    typename TestFixture::deque_t dq;
+    EXPECT_TRUE(dq.empty());
+    dq.push_right(1);
+    dq.push_left(0);
+    dq.push_right(2);
+    EXPECT_EQ(dq.pop_left(), 0u);
+    EXPECT_EQ(dq.pop_right(), 2u);
+    EXPECT_EQ(dq.pop_left(), 1u);
+    EXPECT_EQ(dq.pop_left(), std::nullopt);
+    EXPECT_EQ(dq.pop_right(), std::nullopt);
+}
+
+TYPED_TEST(SnarkFixedTest, MatchesModelOnRandomTape) {
+    typename TestFixture::deque_t dq;
+    std::deque<std::uint64_t> model;
+    util::xoshiro256 rng{77};
+    std::uint64_t token = 1;
+    for (int i = 0; i < 4000; ++i) {
+        switch (rng.below(4)) {
+            case 0: dq.push_left(token); model.push_front(token); ++token; break;
+            case 1: dq.push_right(token); model.push_back(token); ++token; break;
+            case 2: {
+                const auto got = dq.pop_left();
+                if (model.empty()) {
+                    ASSERT_EQ(got, std::nullopt);
+                } else {
+                    ASSERT_EQ(got, model.front());
+                    model.pop_front();
+                }
+                break;
+            }
+            default: {
+                const auto got = dq.pop_right();
+                if (model.empty()) {
+                    ASSERT_EQ(got, std::nullopt);
+                } else {
+                    ASSERT_EQ(got, model.back());
+                    model.pop_back();
+                }
+                break;
+            }
+        }
+    }
+}
+
+TYPED_TEST(SnarkFixedTest, HeavyConservationStress) {
+    // The variant's reason to exist: every token out exactly once, under the
+    // nastiest mix we can schedule (both ends, frequent emptiness).
+    for (std::uint64_t round = 0; round < 3; ++round) {
+        typename TestFixture::deque_t dq;
+        constexpr int threads = 4;
+        constexpr int per_thread = 3000;
+        const std::uint64_t total = static_cast<std::uint64_t>(threads) * per_thread;
+        std::vector<std::atomic<int>> seen(total);
+        for (auto& s : seen) s.store(0);
+        util::spin_barrier barrier{threads};
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                util::xoshiro256 rng{round * 1000 + static_cast<std::uint64_t>(t)};
+                barrier.arrive_and_wait();
+                std::uint64_t next = static_cast<std::uint64_t>(t) * per_thread;
+                const std::uint64_t limit = next + per_thread;
+                while (next < limit) {
+                    if (rng.below(100) < 52) {  // near-empty operation most of the time
+                        if (rng.below(2) == 0) {
+                            dq.push_left(next);
+                        } else {
+                            dq.push_right(next);
+                        }
+                        ++next;
+                    } else {
+                        const auto got = rng.below(2) == 0 ? dq.pop_left() : dq.pop_right();
+                        if (got) seen[*got].fetch_add(1);
+                    }
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+        while (auto got = dq.pop_left()) seen[*got].fetch_add(1);
+        for (std::uint64_t i = 0; i < total; ++i) {
+            ASSERT_EQ(seen[i].load(), 1)
+                << "round " << round << " token " << i << " seen " << seen[i].load();
+        }
+    }
+}
+
+TYPED_TEST(SnarkFixedTest, NoLeaksAfterChurn) {
+    using D = TypeParam;
+    drain_epochs();
+    const auto before = D::counters().snapshot();
+    {
+        typename TestFixture::deque_t dq;
+        std::vector<std::thread> pool;
+        for (int t = 0; t < 4; ++t) {
+            pool.emplace_back([&] {
+                for (int i = 0; i < 4000; ++i) {
+                    if ((i & 1) != 0) {
+                        dq.push_right(static_cast<std::uint64_t>(i));
+                    } else {
+                        dq.pop_left();
+                    }
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+    }
+    drain_epochs();
+    const auto after = D::counters().snapshot();
+    EXPECT_EQ(after.objects_created - before.objects_created,
+              after.objects_destroyed - before.objects_destroyed);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Sequential correctness of the LFRC Snark deque, typed over both engines:
+// basic transitions, sentinel states, and randomized differential testing
+// against std::deque as the model.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+
+#include "lfrc_test_helpers.hpp"
+#include "snark/snark_lfrc.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+
+template <typename D>
+class SnarkSeqTest : public ::testing::Test {
+  protected:
+    using deque_t = snark::snark_deque<D, std::int64_t>;
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(SnarkSeqTest, Domains);
+
+TYPED_TEST(SnarkSeqTest, NewDequeIsEmpty) {
+    typename TestFixture::deque_t dq;
+    EXPECT_TRUE(dq.empty());
+    EXPECT_EQ(dq.pop_left(), std::nullopt);
+    EXPECT_EQ(dq.pop_right(), std::nullopt);
+}
+
+TYPED_TEST(SnarkSeqTest, PushRightPopRightLifo) {
+    typename TestFixture::deque_t dq;
+    dq.push_right(1);
+    dq.push_right(2);
+    dq.push_right(3);
+    EXPECT_EQ(dq.pop_right(), 3);
+    EXPECT_EQ(dq.pop_right(), 2);
+    EXPECT_EQ(dq.pop_right(), 1);
+    EXPECT_EQ(dq.pop_right(), std::nullopt);
+}
+
+TYPED_TEST(SnarkSeqTest, PushLeftPopLeftLifo) {
+    typename TestFixture::deque_t dq;
+    dq.push_left(1);
+    dq.push_left(2);
+    dq.push_left(3);
+    EXPECT_EQ(dq.pop_left(), 3);
+    EXPECT_EQ(dq.pop_left(), 2);
+    EXPECT_EQ(dq.pop_left(), 1);
+    EXPECT_EQ(dq.pop_left(), std::nullopt);
+}
+
+TYPED_TEST(SnarkSeqTest, PushRightPopLeftFifo) {
+    typename TestFixture::deque_t dq;
+    for (int i = 1; i <= 5; ++i) dq.push_right(i);
+    for (int i = 1; i <= 5; ++i) EXPECT_EQ(dq.pop_left(), i);
+    EXPECT_TRUE(dq.empty());
+}
+
+TYPED_TEST(SnarkSeqTest, PushLeftPopRightFifo) {
+    typename TestFixture::deque_t dq;
+    for (int i = 1; i <= 5; ++i) dq.push_left(i);
+    for (int i = 1; i <= 5; ++i) EXPECT_EQ(dq.pop_right(), i);
+    EXPECT_TRUE(dq.empty());
+}
+
+TYPED_TEST(SnarkSeqTest, MixedEndsInterleaved) {
+    typename TestFixture::deque_t dq;
+    dq.push_left(2);    // [2]
+    dq.push_right(3);   // [2,3]
+    dq.push_left(1);    // [1,2,3]
+    dq.push_right(4);   // [1,2,3,4]
+    EXPECT_EQ(dq.pop_left(), 1);
+    EXPECT_EQ(dq.pop_right(), 4);
+    EXPECT_EQ(dq.pop_left(), 2);
+    EXPECT_EQ(dq.pop_right(), 3);
+    EXPECT_TRUE(dq.empty());
+}
+
+TYPED_TEST(SnarkSeqTest, EmptyRefillCycles) {
+    // Exercises the sentinel transitions (Dummy <-> nodes) repeatedly.
+    typename TestFixture::deque_t dq;
+    for (int round = 0; round < 50; ++round) {
+        dq.push_right(round);
+        EXPECT_EQ(dq.pop_left(), round);
+        EXPECT_TRUE(dq.empty());
+        dq.push_left(round);
+        EXPECT_EQ(dq.pop_right(), round);
+        EXPECT_TRUE(dq.empty());
+    }
+}
+
+TYPED_TEST(SnarkSeqTest, SingleElementAllFourCombinations) {
+    typename TestFixture::deque_t dq;
+    dq.push_left(1);
+    EXPECT_EQ(dq.pop_left(), 1);
+    dq.push_left(2);
+    EXPECT_EQ(dq.pop_right(), 2);
+    dq.push_right(3);
+    EXPECT_EQ(dq.pop_left(), 3);
+    dq.push_right(4);
+    EXPECT_EQ(dq.pop_right(), 4);
+    EXPECT_TRUE(dq.empty());
+}
+
+TYPED_TEST(SnarkSeqTest, DestructorReclaimsRemainingNodes) {
+    using D = TypeParam;
+    const auto before = D::counters().snapshot();
+    {
+        typename TestFixture::deque_t dq;
+        for (int i = 0; i < 500; ++i) dq.push_right(i);
+    }  // destructor drains + nulls the shared roots (Figure 1 lines 40..44)
+    drain_epochs();
+    const auto after = D::counters().snapshot();
+    EXPECT_EQ(after.objects_created - before.objects_created,
+              after.objects_destroyed - before.objects_destroyed);
+}
+
+// Randomized differential test against std::deque, multiple seeds.
+class SnarkModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+template <typename D>
+void run_model_tape(std::uint64_t seed, int ops) {
+    snark::snark_deque<D, std::int64_t> dq;
+    std::deque<std::int64_t> model;
+    util::xoshiro256 rng{seed};
+    std::int64_t next_token = 0;
+    for (int i = 0; i < ops; ++i) {
+        switch (rng.below(4)) {
+            case 0:
+                dq.push_left(next_token);
+                model.push_front(next_token);
+                ++next_token;
+                break;
+            case 1:
+                dq.push_right(next_token);
+                model.push_back(next_token);
+                ++next_token;
+                break;
+            case 2: {
+                const auto got = dq.pop_left();
+                if (model.empty()) {
+                    ASSERT_EQ(got, std::nullopt) << "seed " << seed << " op " << i;
+                } else {
+                    ASSERT_EQ(got, model.front()) << "seed " << seed << " op " << i;
+                    model.pop_front();
+                }
+                break;
+            }
+            default: {
+                const auto got = dq.pop_right();
+                if (model.empty()) {
+                    ASSERT_EQ(got, std::nullopt) << "seed " << seed << " op " << i;
+                } else {
+                    ASSERT_EQ(got, model.back()) << "seed " << seed << " op " << i;
+                    model.pop_back();
+                }
+                break;
+            }
+        }
+    }
+    // Drain and compare the remainder.
+    while (!model.empty()) {
+        ASSERT_EQ(dq.pop_left(), model.front());
+        model.pop_front();
+    }
+    EXPECT_TRUE(dq.empty());
+}
+
+TEST_P(SnarkModelTest, MatchesStdDequeMcas) { run_model_tape<domain>(GetParam(), 4000); }
+TEST_P(SnarkModelTest, MatchesStdDequeLocked) {
+    run_model_tape<locked_domain>(GetParam(), 4000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnarkModelTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Tests for slot acquisition, stability, reuse, and the high-water mark.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/thread_registry.hpp"
+
+namespace {
+
+using lfrc::util::thread_registry;
+
+TEST(ThreadRegistry, SlotStableWithinThread) {
+    auto& reg = thread_registry::instance();
+    const auto s1 = reg.slot();
+    const auto s2 = reg.slot();
+    EXPECT_EQ(s1, s2);
+    EXPECT_LT(s1, thread_registry::max_threads);
+    EXPECT_TRUE(reg.in_use(s1));
+}
+
+TEST(ThreadRegistry, DistinctSlotsForConcurrentThreads) {
+    auto& reg = thread_registry::instance();
+    constexpr int threads = 8;
+    std::vector<std::size_t> slots(threads);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            slots[t] = reg.slot();
+            ready.fetch_add(1);
+            while (!go.load()) std::this_thread::yield();  // hold the slot
+        });
+    }
+    while (ready.load() < threads) std::this_thread::yield();
+    std::set<std::size_t> unique(slots.begin(), slots.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(threads));
+    go = true;
+    for (auto& t : pool) t.join();
+}
+
+TEST(ThreadRegistry, SlotsReusedAfterThreadExit) {
+    auto& reg = thread_registry::instance();
+    std::size_t first = 0;
+    std::thread a([&] { first = reg.slot(); });
+    a.join();
+    EXPECT_FALSE(reg.in_use(first));
+    std::size_t second = 0;
+    std::thread b([&] { second = reg.slot(); });
+    b.join();
+    EXPECT_EQ(first, second) << "lowest free slot should be reused";
+}
+
+TEST(ThreadRegistry, HighWaterCoversAllAcquiredSlots) {
+    auto& reg = thread_registry::instance();
+    const auto own = reg.slot();
+    EXPECT_GT(reg.high_water(), own);
+    std::size_t other = 0;
+    std::thread t([&] { other = reg.slot(); });
+    t.join();
+    EXPECT_GT(reg.high_water(), other);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the Valois-style CAS-only reference-counted stack: semantics,
+// claim-bit protocol, conservation under contention, and the monotone
+// footprint that motivates LFRC (paper §1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "containers/valois_stack.hpp"
+#include "util/random.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace {
+
+using lfrc::containers::valois_stack;
+
+TEST(ValoisStack, LifoOrder) {
+    valois_stack<int> st;
+    EXPECT_TRUE(st.empty());
+    for (int i = 0; i < 10; ++i) st.push(i);
+    for (int i = 9; i >= 0; --i) EXPECT_EQ(st.pop(), i);
+    EXPECT_EQ(st.pop(), std::nullopt);
+}
+
+TEST(ValoisStack, NodesAreRecycledNotLeaked) {
+    valois_stack<int> st;
+    for (int i = 0; i < 100; ++i) st.push(i);
+    for (int i = 0; i < 100; ++i) st.pop();
+    const auto footprint_after_first_wave = st.footprint_bytes();
+    // Same again: recycled nodes suffice, footprint must not grow.
+    for (int i = 0; i < 100; ++i) st.push(i);
+    for (int i = 0; i < 100; ++i) st.pop();
+    EXPECT_EQ(st.footprint_bytes(), footprint_after_first_wave);
+}
+
+TEST(ValoisStack, FootprintIsMonotone) {
+    // The drawback the paper names: freeing everything returns nothing to
+    // the system while the structure lives.
+    valois_stack<int> st;
+    std::size_t previous = 0;
+    for (int wave = 1; wave <= 4; ++wave) {
+        for (int i = 0; i < wave * 2000; ++i) st.push(i);
+        const auto grown = st.footprint_bytes();
+        EXPECT_GE(grown, previous);
+        for (int i = 0; i < wave * 2000; ++i) st.pop();
+        EXPECT_EQ(st.footprint_bytes(), grown) << "popping everything must not shrink";
+        previous = grown;
+    }
+    EXPECT_GT(previous, 0u);
+}
+
+TEST(ValoisStack, ConcurrentConservation) {
+    valois_stack<std::int64_t> st;
+    constexpr int threads = 4;
+    constexpr int per_thread = 5000;
+    const auto total = static_cast<std::int64_t>(threads) * per_thread;
+    std::vector<std::atomic<int>> seen(static_cast<std::size_t>(total));
+    for (auto& s : seen) s.store(0);
+    lfrc::util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            lfrc::util::xoshiro256 rng{static_cast<std::uint64_t>(t) * 31 + 3};
+            barrier.arrive_and_wait();
+            std::int64_t next = static_cast<std::int64_t>(t) * per_thread;
+            const std::int64_t limit = next + per_thread;
+            while (next < limit) {
+                if (rng.below(100) < 55) {
+                    st.push(next++);
+                } else if (auto got = st.pop()) {
+                    seen[static_cast<std::size_t>(*got)].fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    while (auto got = st.pop()) seen[static_cast<std::size_t>(*got)].fetch_add(1);
+    for (std::int64_t i = 0; i < total; ++i) {
+        ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1)
+            << "token " << i << ": stale-increment handling is broken";
+    }
+}
+
+TEST(ValoisStack, HighContentionPopOnlyRace) {
+    // Many threads all popping the same few nodes maximizes stale
+    // increments landing on recycled nodes.
+    valois_stack<std::int64_t> st;
+    constexpr int threads = 4;
+    constexpr int rounds = 2000;
+    std::atomic<std::int64_t> pushed{0}, popped{0};
+    lfrc::util::spin_barrier barrier{threads};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            barrier.arrive_and_wait();
+            for (int r = 0; r < rounds; ++r) {
+                st.push(1);
+                pushed.fetch_add(1);
+                if (auto got = st.pop()) popped.fetch_add(1);
+                if (auto got = st.pop()) popped.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    while (st.pop()) popped.fetch_add(1);
+    EXPECT_EQ(pushed.load(), popped.load());
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_dcas_engines.dir/bench_e3_dcas_engines.cpp.o"
+  "CMakeFiles/bench_e3_dcas_engines.dir/bench_e3_dcas_engines.cpp.o.d"
+  "bench_e3_dcas_engines"
+  "bench_e3_dcas_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_dcas_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

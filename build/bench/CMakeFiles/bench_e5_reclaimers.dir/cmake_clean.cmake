@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_reclaimers.dir/bench_e5_reclaimers.cpp.o"
+  "CMakeFiles/bench_e5_reclaimers.dir/bench_e5_reclaimers.cpp.o.d"
+  "bench_e5_reclaimers"
+  "bench_e5_reclaimers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_reclaimers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

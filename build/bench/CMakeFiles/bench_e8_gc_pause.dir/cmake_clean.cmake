@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_gc_pause.dir/bench_e8_gc_pause.cpp.o"
+  "CMakeFiles/bench_e8_gc_pause.dir/bench_e8_gc_pause.cpp.o.d"
+  "bench_e8_gc_pause"
+  "bench_e8_gc_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_gc_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conversion_tutorial.dir/conversion_tutorial.cpp.o"
+  "CMakeFiles/conversion_tutorial.dir/conversion_tutorial.cpp.o.d"
+  "conversion_tutorial"
+  "conversion_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conversion_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_vs_lfrc.dir/gc_vs_lfrc.cpp.o"
+  "CMakeFiles/gc_vs_lfrc.dir/gc_vs_lfrc.cpp.o.d"
+  "gc_vs_lfrc"
+  "gc_vs_lfrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_vs_lfrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership.dir/membership.cpp.o"
+  "CMakeFiles/membership.dir/membership.cpp.o.d"
+  "membership"
+  "membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_shrink.dir/memory_shrink.cpp.o"
+  "CMakeFiles/memory_shrink.dir/memory_shrink.cpp.o.d"
+  "memory_shrink"
+  "memory_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/stats.cpp" "src/CMakeFiles/lfrc_core.dir/alloc/stats.cpp.o" "gcc" "src/CMakeFiles/lfrc_core.dir/alloc/stats.cpp.o.d"
+  "/root/repo/src/gc/heap.cpp" "src/CMakeFiles/lfrc_core.dir/gc/heap.cpp.o" "gcc" "src/CMakeFiles/lfrc_core.dir/gc/heap.cpp.o.d"
+  "/root/repo/src/reclaim/epoch.cpp" "src/CMakeFiles/lfrc_core.dir/reclaim/epoch.cpp.o" "gcc" "src/CMakeFiles/lfrc_core.dir/reclaim/epoch.cpp.o.d"
+  "/root/repo/src/reclaim/hazard.cpp" "src/CMakeFiles/lfrc_core.dir/reclaim/hazard.cpp.o" "gcc" "src/CMakeFiles/lfrc_core.dir/reclaim/hazard.cpp.o.d"
+  "/root/repo/src/util/thread_registry.cpp" "src/CMakeFiles/lfrc_core.dir/util/thread_registry.cpp.o" "gcc" "src/CMakeFiles/lfrc_core.dir/util/thread_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfrc_core.dir/alloc/stats.cpp.o"
+  "CMakeFiles/lfrc_core.dir/alloc/stats.cpp.o.d"
+  "CMakeFiles/lfrc_core.dir/gc/heap.cpp.o"
+  "CMakeFiles/lfrc_core.dir/gc/heap.cpp.o.d"
+  "CMakeFiles/lfrc_core.dir/reclaim/epoch.cpp.o"
+  "CMakeFiles/lfrc_core.dir/reclaim/epoch.cpp.o.d"
+  "CMakeFiles/lfrc_core.dir/reclaim/hazard.cpp.o"
+  "CMakeFiles/lfrc_core.dir/reclaim/hazard.cpp.o.d"
+  "CMakeFiles/lfrc_core.dir/util/thread_registry.cpp.o"
+  "CMakeFiles/lfrc_core.dir/util/thread_registry.cpp.o.d"
+  "liblfrc_core.a"
+  "liblfrc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfrc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfrc_core.a"
+)

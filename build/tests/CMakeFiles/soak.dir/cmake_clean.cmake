@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soak.dir/soak_main.cpp.o"
+  "CMakeFiles/soak.dir/soak_main.cpp.o.d"
+  "soak"
+  "soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

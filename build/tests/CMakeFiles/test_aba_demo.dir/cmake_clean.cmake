@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aba_demo.dir/test_aba_demo.cpp.o"
+  "CMakeFiles/test_aba_demo.dir/test_aba_demo.cpp.o.d"
+  "test_aba_demo"
+  "test_aba_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aba_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

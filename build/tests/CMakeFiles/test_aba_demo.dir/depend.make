@@ -1,0 +1,2 @@
+# Empty dependencies file for test_aba_demo.
+# This may be replaced when dependencies are built.

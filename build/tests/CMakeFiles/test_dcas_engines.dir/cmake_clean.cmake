@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcas_engines.dir/test_dcas_engines.cpp.o"
+  "CMakeFiles/test_dcas_engines.dir/test_dcas_engines.cpp.o.d"
+  "test_dcas_engines"
+  "test_dcas_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcas_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc_heap.dir/test_gc_heap.cpp.o"
+  "CMakeFiles/test_gc_heap.dir/test_gc_heap.cpp.o.d"
+  "test_gc_heap"
+  "test_gc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

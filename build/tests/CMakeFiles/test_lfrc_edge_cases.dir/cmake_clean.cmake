@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfrc_edge_cases.dir/test_lfrc_edge_cases.cpp.o"
+  "CMakeFiles/test_lfrc_edge_cases.dir/test_lfrc_edge_cases.cpp.o.d"
+  "test_lfrc_edge_cases"
+  "test_lfrc_edge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfrc_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

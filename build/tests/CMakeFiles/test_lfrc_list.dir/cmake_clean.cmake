@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfrc_list.dir/test_lfrc_list.cpp.o"
+  "CMakeFiles/test_lfrc_list.dir/test_lfrc_list.cpp.o.d"
+  "test_lfrc_list"
+  "test_lfrc_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfrc_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfrc_ops.dir/test_lfrc_ops.cpp.o"
+  "CMakeFiles/test_lfrc_ops.dir/test_lfrc_ops.cpp.o.d"
+  "test_lfrc_ops"
+  "test_lfrc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfrc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

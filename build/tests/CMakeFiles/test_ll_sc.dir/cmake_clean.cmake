@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ll_sc.dir/test_ll_sc.cpp.o"
+  "CMakeFiles/test_ll_sc.dir/test_ll_sc.cpp.o.d"
+  "test_ll_sc"
+  "test_ll_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ll_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_coverage.dir/test_more_coverage.cpp.o"
+  "CMakeFiles/test_more_coverage.dir/test_more_coverage.cpp.o.d"
+  "test_more_coverage"
+  "test_more_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

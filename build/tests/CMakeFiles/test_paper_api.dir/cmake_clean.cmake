@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_api.dir/test_paper_api.cpp.o"
+  "CMakeFiles/test_paper_api.dir/test_paper_api.cpp.o.d"
+  "test_paper_api"
+  "test_paper_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

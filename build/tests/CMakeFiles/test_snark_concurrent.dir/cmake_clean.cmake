@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snark_concurrent.dir/test_snark_concurrent.cpp.o"
+  "CMakeFiles/test_snark_concurrent.dir/test_snark_concurrent.cpp.o.d"
+  "test_snark_concurrent"
+  "test_snark_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snark_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snark_edges.dir/test_snark_edges.cpp.o"
+  "CMakeFiles/test_snark_edges.dir/test_snark_edges.cpp.o.d"
+  "test_snark_edges"
+  "test_snark_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snark_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snark_gc.dir/test_snark_gc.cpp.o"
+  "CMakeFiles/test_snark_gc.dir/test_snark_gc.cpp.o.d"
+  "test_snark_gc"
+  "test_snark_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snark_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snark_seq.dir/test_snark_seq.cpp.o"
+  "CMakeFiles/test_snark_seq.dir/test_snark_seq.cpp.o.d"
+  "test_snark_seq"
+  "test_snark_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snark_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_valois.dir/test_valois.cpp.o"
+  "CMakeFiles/test_valois.dir/test_valois.cpp.o.d"
+  "test_valois"
+  "test_valois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_valois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

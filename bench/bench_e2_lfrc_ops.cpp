@@ -9,6 +9,11 @@
 // Expected shape: load > dcas-op > store > cas > copy ≈ destroy; the mcas
 // engine multiplies DCAS-bearing ops by the descriptor-protocol constant,
 // and leaves CAS-only ops nearly unchanged.
+//
+// LFRCLoadBorrowed / BorrowPromote measure the epoch-borrowed fast path:
+// the borrow replaces the load's count DCAS with an epoch pin, and promote
+// adds back one increment-if-nonzero CAS when the reference must outlive
+// the pin.
 #include <benchmark/benchmark.h>
 
 #include "lfrc/lfrc.hpp"
@@ -112,6 +117,34 @@ void bm_dcas(benchmark::State& state) {
 }
 
 template <typename D>
+void bm_load_borrowed(benchmark::State& state) {
+    // The epoch-borrowed counterpart of bm_load: pin + read, no count DCAS.
+    typename D::template ptr_field<bench_node<D>> shared;
+    D::store_alloc(shared, D::template make<bench_node<D>>());
+    for (auto _ : state) {
+        auto b = D::load_borrowed(shared);
+        benchmark::DoNotOptimize(b.get());
+    }
+    D::store(shared, static_cast<bench_node<D>*>(nullptr));
+    flush_deferred_frees();
+}
+
+template <typename D>
+void bm_borrow_promote(benchmark::State& state) {
+    // Borrow + upgrade to a counted reference: the price of keeping a
+    // borrowed pointer past its pinned section.
+    typename D::template ptr_field<bench_node<D>> shared;
+    D::store_alloc(shared, D::template make<bench_node<D>>());
+    for (auto _ : state) {
+        auto b = D::load_borrowed(shared);
+        auto p = b.promote();
+        benchmark::DoNotOptimize(p.get());
+    }
+    D::store(shared, static_cast<bench_node<D>*>(nullptr));
+    flush_deferred_frees();
+}
+
+template <typename D>
 void bm_failed_cas(benchmark::State& state) {
     // Failure path: the compensating destroy (lines 38..39 analogue).
     typename D::template ptr_field<bench_node<D>> shared;
@@ -131,6 +164,8 @@ void bm_failed_cas(benchmark::State& state) {
 
 BENCHMARK(bm_make_destroy<domain>)->Name("E2/mcas/make+destroy");
 BENCHMARK(bm_load<domain>)->Name("E2/mcas/LFRCLoad");
+BENCHMARK(bm_load_borrowed<domain>)->Name("E2/mcas/LFRCLoadBorrowed");
+BENCHMARK(bm_borrow_promote<domain>)->Name("E2/mcas/BorrowPromote");
 BENCHMARK(bm_store<domain>)->Name("E2/mcas/LFRCStore");
 BENCHMARK(bm_copy<domain>)->Name("E2/mcas/LFRCCopy");
 BENCHMARK(bm_cas<domain>)->Name("E2/mcas/LFRCCAS");
@@ -139,6 +174,8 @@ BENCHMARK(bm_failed_cas<domain>)->Name("E2/mcas/LFRCCAS-fail");
 
 BENCHMARK(bm_make_destroy<locked_domain>)->Name("E2/locked/make+destroy");
 BENCHMARK(bm_load<locked_domain>)->Name("E2/locked/LFRCLoad");
+BENCHMARK(bm_load_borrowed<locked_domain>)->Name("E2/locked/LFRCLoadBorrowed");
+BENCHMARK(bm_borrow_promote<locked_domain>)->Name("E2/locked/BorrowPromote");
 BENCHMARK(bm_store<locked_domain>)->Name("E2/locked/LFRCStore");
 BENCHMARK(bm_copy<locked_domain>)->Name("E2/locked/LFRCCopy");
 BENCHMARK(bm_cas<locked_domain>)->Name("E2/locked/LFRCCAS");

@@ -12,10 +12,17 @@
 //   plain-load >> hp-protect >> lfrc-load, and the gap to lfrc grows with
 //   reader count (all readers RMW the same cache line).
 //
-//   --duration=0.4 --max_threads=4
+// The lfrc-borrow column measures the epoch-borrowed fast path
+// (domain::load_borrowed): it replaces the count DCAS with an epoch pin
+// (one write to a thread-private announce slot), so it should track
+// hp-protect, not lfrc-load — the remedy for the cost this experiment
+// documents.
+//
+//   --duration=0.4 --max_threads=4 [--json=BENCH_e6.json]
 #include <atomic>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "lfrc/lfrc.hpp"
 #include "reclaim/hazard.hpp"
@@ -43,6 +50,20 @@ double lfrc_read_throughput(int threads, double duration) {
         // one: exactly two shared RMWs per read, steady state.
         domain::load(shared, local);
         g_sink = local->payload;
+    });
+    domain::store(shared, static_cast<hot_node*>(nullptr));
+    flush_deferred_frees();
+    return result.mops_per_sec();
+}
+
+double borrow_read_throughput(int threads, double duration) {
+    domain::ptr_field<hot_node> shared;
+    domain::store_alloc(shared, domain::make<hot_node>());
+    const auto result = util::run_for(threads, duration, [&](int) {
+        // Epoch pin + plain read of the cell: no write to the pointee's
+        // count word, so readers share the hot line read-only.
+        auto b = domain::load_borrowed(shared);
+        g_sink = b->payload;
     });
     domain::store(shared, static_cast<hot_node*>(nullptr));
     flush_deferred_frees();
@@ -87,20 +108,58 @@ int main(int argc, char** argv) {
                 "duration/cell=%.2fs\n\n",
                 duration);
 
+    struct row_t {
+        int readers;
+        double plain, hp, lfrc_load, lfrc_borrow;
+    };
+    std::vector<row_t> rows;
+
     util::table table({"readers", "plain-load", "hp-protect", "lfrc-load",
-                       "hp/lfrc"});
+                       "lfrc-borrow", "hp/lfrc", "borrow/lfrc"});
     for (int threads = 1; threads <= max_threads; threads *= 2) {
         const double plain = plain_read_throughput(threads, duration);
         const double hp = hp_read_throughput(threads, duration);
         const double lfrc_tp = lfrc_read_throughput(threads, duration);
+        const double borrow = borrow_read_throughput(threads, duration);
+        rows.push_back({threads, plain, hp, lfrc_tp, borrow});
         table.add_row({std::to_string(threads), util::table::fmt(plain),
                        util::table::fmt(hp), util::table::fmt(lfrc_tp),
-                       util::table::fmt(lfrc_tp > 0 ? hp / lfrc_tp : 0, 1) + "x"});
+                       util::table::fmt(borrow),
+                       util::table::fmt(lfrc_tp > 0 ? hp / lfrc_tp : 0, 1) + "x",
+                       util::table::fmt(lfrc_tp > 0 ? borrow / lfrc_tp : 0, 1) + "x"});
     }
     table.print();
 
     std::printf("\nshape check: the counted load pays two shared RMWs (DCAS on the\n"
                 "count) per read; protection-based reads only write thread-private\n"
-                "slots. This is the documented cost of reference counting.\n");
+                "slots. lfrc-borrow applies that remedy inside LFRC itself — it\n"
+                "should track hp-protect and beat lfrc-load by a growing margin.\n");
+
+    // Machine-readable baseline for perf-trajectory tracking across PRs
+    // (scripts/run_all.sh writes this as BENCH_e6.json).
+    const std::string json_path = flags.get_string("json", "");
+    if (!json_path.empty()) {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "E6: cannot open %s for writing\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"e6_refcount_contention\",\n"
+                        "  \"duration_per_cell_sec\": %.3f,\n  \"rows\": [\n",
+                     duration);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const row_t& r = rows[i];
+            std::fprintf(f,
+                         "    {\"readers\": %d, \"plain_mops\": %.3f, \"hp_mops\": %.3f, "
+                         "\"lfrc_load_mops\": %.3f, \"lfrc_borrow_mops\": %.3f, "
+                         "\"borrow_speedup_vs_load\": %.2f}%s\n",
+                         r.readers, r.plain, r.hp, r.lfrc_load, r.lfrc_borrow,
+                         r.lfrc_load > 0 ? r.lfrc_borrow / r.lfrc_load : 0.0,
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
     return 0;
 }

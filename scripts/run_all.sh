@@ -12,9 +12,14 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 
 {
   for b in build/bench/*; do
+    [[ -f "$b" && -x "$b" ]] || continue   # skip CMakeFiles/ etc.
     echo "=== $(basename "$b") ==="
     if [[ "$(basename "$b")" == "bench_e2_lfrc_ops" ]]; then
       "$b" --benchmark_min_time=0.2
+    elif [[ "$(basename "$b")" == "bench_e6_refcount_contention" ]]; then
+      # Also emit the machine-readable perf baseline (BENCH_e6.json) so
+      # future PRs have a trajectory for the borrow-vs-counted-load gap.
+      "$b" --max_threads=8 --json=BENCH_e6.json
     else
       "$b"
     fi

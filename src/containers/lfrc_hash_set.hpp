@@ -6,6 +6,10 @@
 // LFRC-compliance. Bucket count is fixed at construction (lock-free
 // resizing is its own research problem and out of the paper's scope —
 // documented limitation).
+//
+// contains()/size() inherit the buckets' epoch-borrowed read path: a
+// lookup pays one epoch pin and zero refcount traffic regardless of
+// bucket chain length.
 #pragma once
 
 #include <cstddef>

@@ -21,6 +21,11 @@
 // Cycle-free garbage: unlinked nodes point forward into the list (or to
 // other dead nodes), never backwards — chains, not cycles — so the §2.1
 // criterion holds and LFRC reclaims everything once traversals let go.
+//
+// Read paths (contains/size) use the epoch-borrowed fast path
+// (Domain::load_borrowed) and pay no refcount traffic; mutating paths keep
+// the counted search() with helping, because unlink DCASes must anchor on
+// counted references (docs/ALGORITHMS.md §8).
 #pragma once
 
 #include <cstdint>
@@ -92,22 +97,30 @@ class lfrc_list_set {
         }
     }
 
+    /// Membership test on the borrowed fast path: zero refcount traffic.
+    /// Unlike search() this never helps unlink dead nodes — it walks
+    /// straight through them under a single epoch pin, lazy-list style
+    /// (Heller et al.): a dead node's forward pointer is frozen at unlink
+    /// time, so the walk still reaches every node that was live for the
+    /// whole operation, and the dead-flag check at the end linearizes the
+    /// miss/hit correctly.
     bool contains(const Key& key) {
-        auto [pred, curr] = search(key);
-        (void)pred;
-        return curr && curr->key == key;
+        auto curr = Domain::load_borrowed(head_);
+        curr = Domain::load_borrowed(curr->next);  // skip head sentinel
+        while (curr && curr->key < key) {
+            curr = Domain::load_borrowed(curr->next);
+        }
+        return curr && curr->key == key && !curr->dead.load();
     }
 
-    /// Element count; exact only at quiescence.
+    /// Element count; exact only at quiescence. Borrowed traversal.
     std::size_t size() {
         std::size_t n = 0;
-        local curr = Domain::load_get(head_);
-        local next;
-        Domain::load(curr->next, next);
-        while (next) {
-            if (!next->dead.load()) ++n;
-            curr = next;
-            Domain::load(curr->next, next);
+        auto curr = Domain::load_borrowed(head_);
+        curr = Domain::load_borrowed(curr->next);
+        while (curr) {
+            if (!curr->dead.load()) ++n;
+            curr = Domain::load_borrowed(curr->next);
         }
         return n;
     }

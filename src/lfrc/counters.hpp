@@ -1,33 +1,81 @@
 // Observability counters for the LFRC core: every reference-count increment
-// and decrement, object construction and destruction. Tests use them to
-// check the paper's weakened refcount invariants (§1); benchmarks report
-// them as sanity columns.
+// and decrement, object construction and destruction, and borrowed
+// (epoch-protected, count-free) loads. Tests use them to check the paper's
+// weakened refcount invariants (§1); benchmarks report them as sanity
+// columns.
+//
+// The counters are striped per thread-registry slot: the four hot updates
+// sit on the LFRC fast paths (every copy/destroy), and a single shared
+// cache line of atomics would reintroduce exactly the contention the rest
+// of the library works to avoid. Each slot gets its own padded stripe;
+// `snapshot()` aggregates across slots. Slots are recycled between threads,
+// so stripes only ever accumulate — sums stay exact across thread churn.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
 namespace lfrc {
 
-struct domain_counters {
-    std::atomic<std::uint64_t> increments{0};
-    std::atomic<std::uint64_t> decrements{0};
-    std::atomic<std::uint64_t> objects_created{0};
-    std::atomic<std::uint64_t> objects_destroyed{0};
-
+class domain_counters {
+  public:
     struct snapshot_t {
         std::uint64_t increments;
         std::uint64_t decrements;
         std::uint64_t objects_created;
         std::uint64_t objects_destroyed;
+        std::uint64_t borrows;
     };
 
-    snapshot_t snapshot() const noexcept {
-        return {increments.load(std::memory_order_relaxed),
-                decrements.load(std::memory_order_relaxed),
-                objects_created.load(std::memory_order_relaxed),
-                objects_destroyed.load(std::memory_order_relaxed)};
+    void add_increments(std::uint64_t n) noexcept {
+        stripe().increments.fetch_add(n, std::memory_order_relaxed);
     }
+    void add_decrements(std::uint64_t n) noexcept {
+        stripe().decrements.fetch_add(n, std::memory_order_relaxed);
+    }
+    void add_created(std::uint64_t n) noexcept {
+        stripe().objects_created.fetch_add(n, std::memory_order_relaxed);
+    }
+    void add_destroyed(std::uint64_t n) noexcept {
+        stripe().objects_destroyed.fetch_add(n, std::memory_order_relaxed);
+    }
+    void add_borrows(std::uint64_t n) noexcept {
+        stripe().borrows.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    snapshot_t snapshot() const noexcept {
+        snapshot_t s{0, 0, 0, 0, 0};
+        const std::size_t high = util::thread_registry::instance().high_water();
+        for (std::size_t i = 0; i < high; ++i) {
+            const stripe_t& st = *stripes_[i];
+            s.increments += st.increments.load(std::memory_order_relaxed);
+            s.decrements += st.decrements.load(std::memory_order_relaxed);
+            s.objects_created += st.objects_created.load(std::memory_order_relaxed);
+            s.objects_destroyed += st.objects_destroyed.load(std::memory_order_relaxed);
+            s.borrows += st.borrows.load(std::memory_order_relaxed);
+        }
+        return s;
+    }
+
+  private:
+    struct stripe_t {
+        std::atomic<std::uint64_t> increments{0};
+        std::atomic<std::uint64_t> decrements{0};
+        std::atomic<std::uint64_t> objects_created{0};
+        std::atomic<std::uint64_t> objects_destroyed{0};
+        std::atomic<std::uint64_t> borrows{0};
+    };
+    static_assert(sizeof(stripe_t) <= util::cacheline_size,
+                  "one stripe must fit a single cache line");
+
+    stripe_t& stripe() noexcept {
+        return *stripes_[util::thread_registry::instance().slot()];
+    }
+
+    util::padded<stripe_t> stripes_[util::thread_registry::max_threads];
 };
 
 }  // namespace lfrc

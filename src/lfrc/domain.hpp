@@ -14,6 +14,16 @@
 //   LFRCDCAS(...)         domain::dcas(f0, f1, o0, o1, n0, n1)
 //   add_to_rc(p, v)       domain::add_to_rc(p, v)
 //
+// Beyond Figure 2, `load_borrowed(A)` returns a `borrow_ptr<T>`: an
+// epoch-pinned, reference-count-free read of a shared pointer for
+// short-lived use (container traversals, retry loops). A borrow never
+// touches the pointee's count; `borrow_ptr::promote()` upgrades to a
+// counted `local_ptr` with an increment-if-nonzero CAS when the reference
+// must outlive the pinned section. See docs/ALGORITHMS.md §8 for the
+// correctness argument and the usage rule (borrows may read; any engine
+// operation that *writes* an object's fields still requires a counted —
+// or atomically liveness-checked — reference to that object).
+//
 // The §3 transformation steps map to library pieces: step 1 (rc field) is
 // the `object` base class; step 2 (LFRCDestroy) is generated from
 // `lfrc_visit_children`; step 6 (local pointer management) is automated by
@@ -62,6 +72,8 @@ class basic_domain {
     class ptr_field;
     template <typename T>
     class local_ptr;
+    template <typename T>
+    class borrow_ptr;
 
     /// Receives the children of an object being destroyed (step 2).
     class child_visitor {
@@ -87,7 +99,7 @@ class basic_domain {
         }
 
       protected:
-        object() noexcept { counters().objects_created.fetch_add(1, std::memory_order_relaxed); }
+        object() noexcept { counters().add_created(1); }
         virtual ~object() = default;
 
       private:
@@ -233,6 +245,127 @@ class basic_domain {
         T* p_ = nullptr;
     };
 
+    /// A borrowed local reference: reads a shared pointer WITHOUT touching
+    /// the pointee's reference count, pinning the caller's slot in the
+    /// global epoch domain instead. While the pin is held, nothing retired
+    /// during (or after) the pin can be physically freed, so dereferencing
+    /// the borrow is safe even if the object has since been logically
+    /// destroyed (count zero, children decremented) — its storage and
+    /// payload are untouched until the deferred free runs.
+    ///
+    /// Rules of use (docs/ALGORITHMS.md §8):
+    ///  * borrows are for SHORT-LIVED, same-thread references: traversals,
+    ///    retry loops. A held borrow stalls epoch advance exactly like an
+    ///    epoch guard; do not park inside one or ship one across threads.
+    ///  * a borrow may READ the pointee (fields via further load_borrowed,
+    ///    plain data members, flag_field::load). It must NOT be used to
+    ///    justify an engine write to the pointee's cells, nor passed to an
+    ///    operation that increments counts on its behalf (store/copy/cas
+    ///    new-values): the pointee may already be logically dead. Call
+    ///    promote() first.
+    ///  * promote() upgrades to a counted local_ptr iff the object is still
+    ///    logically alive; a count of zero is absorbing (no operation ever
+    ///    resurrects a dead object), so increment-if-nonzero via plain CAS
+    ///    is sufficient where LFRCLoad needed DCAS.
+    template <typename T>
+    class borrow_ptr {
+      public:
+        borrow_ptr() noexcept = default;
+
+        borrow_ptr(const borrow_ptr& other) noexcept
+            : p_(other.p_), pinned_(other.pinned_) {
+            if (pinned_) reclaim::epoch_domain::global().enter();
+        }
+        borrow_ptr(borrow_ptr&& other) noexcept : p_(other.p_), pinned_(other.pinned_) {
+            other.p_ = nullptr;
+            other.pinned_ = false;
+        }
+
+        borrow_ptr& operator=(const borrow_ptr& other) noexcept {
+            if (this == &other) return *this;
+            // Acquire the new pin before dropping ours so a traversal that
+            // reassigns through a chain never fully unpins mid-walk.
+            if (other.pinned_) reclaim::epoch_domain::global().enter();
+            const bool was_pinned = pinned_;
+            p_ = other.p_;
+            pinned_ = other.pinned_;
+            if (was_pinned) reclaim::epoch_domain::global().exit();
+            return *this;
+        }
+        borrow_ptr& operator=(borrow_ptr&& other) noexcept {
+            if (this == &other) return *this;
+            const bool was_pinned = pinned_;
+            p_ = other.p_;
+            pinned_ = other.pinned_;
+            other.p_ = nullptr;
+            other.pinned_ = false;
+            if (was_pinned) reclaim::epoch_domain::global().exit();
+            return *this;
+        }
+
+        ~borrow_ptr() { reset(); }
+
+        /// Drop the borrow and release its epoch pin.
+        void reset() noexcept {
+            if (pinned_) {
+                reclaim::epoch_domain::global().exit();
+                pinned_ = false;
+            }
+            p_ = nullptr;
+        }
+
+        /// Upgrade to a counted reference iff the object is still logically
+        /// alive. Returns a null local_ptr when the pointee is null or its
+        /// count already reached zero (it is being torn down; the caller
+        /// must re-read the shared pointer and retry).
+        local_ptr<T> promote() const {
+            if (p_ == nullptr) return {};
+            assert(pinned_ && "promote on a moved-from/reset borrow");
+            dcas::cell& rc = static_cast<object*>(p_)->rc_;
+            for (;;) {
+                const std::uint64_t raw = Engine::read(rc);
+                const std::uint64_t count = dcas::decode_count(raw);
+                if (count == 0) return {};  // dead; zero is absorbing
+                if (Engine::cas(rc, raw, dcas::encode_count(count + 1))) {
+                    counters().add_increments(1);
+                    return local_ptr<T>::adopt(p_);
+                }
+            }
+        }
+
+        T* get() const noexcept { return p_; }
+        T* operator->() const noexcept { return p_; }
+        T& operator*() const noexcept { return *p_; }
+        explicit operator bool() const noexcept { return p_ != nullptr; }
+
+        friend bool operator==(const borrow_ptr& a, const borrow_ptr& b) noexcept {
+            return a.p_ == b.p_;
+        }
+        friend bool operator==(const borrow_ptr& a, const T* b) noexcept {
+            return a.p_ == b;
+        }
+
+      private:
+        friend class basic_domain;
+        T* p_ = nullptr;
+        bool pinned_ = false;
+    };
+
+    /// LFRCLoadBorrowed: read *A into an epoch-pinned borrow — no count
+    /// traffic at all, so N readers of one hot pointer scale instead of
+    /// serializing on its count word. The pin is taken BEFORE the read, so
+    /// every retire of the read value (and of anything reachable from it)
+    /// happens at an epoch our pin blocks from expiring.
+    template <typename T>
+    static borrow_ptr<T> load_borrowed(ptr_field<T>& A) {
+        borrow_ptr<T> out;
+        reclaim::epoch_domain::global().enter();
+        out.pinned_ = true;
+        out.p_ = dcas::decode_ptr<T>(Engine::read(A.cell_));
+        counters().add_borrows(1);
+        return out;
+    }
+
     /// Create a managed object; its birth count of 1 is owned by the
     /// returned local_ptr.
     template <typename T, typename... Args>
@@ -259,11 +392,9 @@ class basic_domain {
             if (Engine::cas(p->rc_, old_raw, new_raw)) {
                 auto& ctr = counters();
                 if (delta > 0) {
-                    ctr.increments.fetch_add(static_cast<std::uint64_t>(delta),
-                                             std::memory_order_relaxed);
+                    ctr.add_increments(static_cast<std::uint64_t>(delta));
                 } else {
-                    ctr.decrements.fetch_add(static_cast<std::uint64_t>(-delta),
-                                             std::memory_order_relaxed);
+                    ctr.add_decrements(static_cast<std::uint64_t>(-delta));
                 }
                 return old_count;
             }
@@ -293,7 +424,7 @@ class basic_domain {
             const std::uint64_t r_plus =
                 dcas::encode_count(dcas::decode_count(r) + 1);
             if (Engine::dcas(A.cell_, rc, raw, r, raw, r_plus)) {  // line 9
-                counters().increments.fetch_add(1, std::memory_order_relaxed);
+                counters().add_increments(1);
                 dest.p_ = obj;  // line 10
                 break;
             }
@@ -466,7 +597,7 @@ class basic_domain {
             const std::uint64_t r = Engine::read(rc);
             if (Engine::dcas(A.ptr_, rc, raw, r,
                              raw, dcas::encode_count(dcas::decode_count(r) + 1))) {
-                counters().increments.fetch_add(1, std::memory_order_relaxed);
+                counters().add_increments(1);
                 // The pointer was unchanged at the DCAS; if the version
                 // also still matches, the token is coherent with the value.
                 if (dcas::decode_count(Engine::read(A.version_)) != token.version) {
@@ -542,7 +673,7 @@ class basic_domain {
     /// domain (line 15's `delete`, deferred — see the header comment).
     static void retire_garbage(object* p, child_visitor& children) {
         p->lfrc_visit_children(children);
-        counters().objects_destroyed.fetch_add(1, std::memory_order_relaxed);
+        counters().add_destroyed(1);
         reclaim::epoch_domain::global().retire(
             p, [](void* q) { delete static_cast<object*>(q); });
     }

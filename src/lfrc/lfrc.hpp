@@ -25,13 +25,17 @@ using locked_domain = basic_domain<dcas::locked_engine>;
 
 /// Drive the deferred physical frees to completion. Call at quiescence
 /// (tests, footprint sampling) — concurrent use is safe but may not reach
-/// zero while other threads pin epochs.
-inline void flush_deferred_frees(int rounds = 16) {
+/// zero while other threads pin epochs (including held borrow_ptrs).
+/// Returns the residual pending count: 0 means every deferred free ran;
+/// nonzero means something still pins an epoch and the caller should not
+/// assume the heap is quiesced.
+inline std::uint64_t flush_deferred_frees(int rounds = 16) {
     auto& domain_ref = reclaim::epoch_domain::global();
     for (int i = 0; i < rounds && domain_ref.pending() != 0; ++i) {
         domain_ref.try_advance();
         domain_ref.drain_all();
     }
+    return domain_ref.pending();
 }
 
 }  // namespace lfrc

@@ -30,6 +30,14 @@
 // The destructor follows Figure 1 lines 40..44: drain, then null the three
 // shared pointers so everything reachable is destroyed. As the paper notes,
 // it must not run concurrently with other operations.
+//
+// Beyond the paper: the retry-loop reads use the epoch-borrowed fast path
+// (Domain::load_borrowed) instead of counted LFRCLoad, so contended retries
+// and empty-deque probes stop hammering the hot nodes' count words. An
+// attempt promotes a borrow to a counted local_ptr only right before it
+// writes that node's own cells; see docs/ALGORITHMS.md §8 for why that
+// discipline preserves the paper's invariants. snark_fixed.hpp keeps the
+// all-counted form as a differential baseline.
 #pragma once
 
 #include <optional>
@@ -79,24 +87,34 @@ class snark_deque {
 
     /// Figure 1 lines 49..68 (the paper returns FULLval on allocation
     /// failure; here `new` throws std::bad_alloc instead).
+    ///
+    /// Retry-loop reads are epoch borrows (docs/ALGORITHMS.md §8): a failed
+    /// attempt costs zero refcount traffic. Only the attempt that is about
+    /// to write a hot node's own cells promotes to a counted reference,
+    /// which also revalidates the node is still logically alive.
     void push_right(V v) {
         local nd = Domain::template make<snode>();  // line 49
-        local rh, rhR, lh;                          // line 50: null-initialized
         snode* dummy = dummy_ptr();
         Domain::store(nd->R, dummy);  // line 54
         nd->value = std::move(v);     // line 55
         for (;;) {                    // line 56
-            Domain::load(right_hat_, rh);  // line 57
-            Domain::load(rh->R, rhR);      // line 58
-            if (!rhR) {                    // line 59: right sentinel => empty
-                Domain::store(nd->L, dummy);  // line 60
-                Domain::load(left_hat_, lh);  // line 61
+            auto rh = Domain::load_borrowed(right_hat_);  // line 57
+            auto rhR = Domain::load_borrowed(rh->R);      // line 58
+            if (!rhR) {  // line 59: right sentinel => empty
+                Domain::store(nd->L, dummy);                 // line 60
+                auto lh = Domain::load_borrowed(left_hat_);  // line 61
+                // Hat-only DCAS: success proves both hats still count
+                // rh/lh, so no promote is needed.
                 if (Domain::dcas(right_hat_, left_hat_, rh.get(), lh.get(), nd.get(),
                                  nd.get())) {  // line 62
                     return;  // lines 63..64: locals destroy themselves
                 }
             } else {
-                Domain::store(nd->L, rh.get());  // line 65
+                // The store below publishes a counted pointer to rh and the
+                // DCAS writes rh->R — both need rh logically alive.
+                local rh_c = rh.promote();
+                if (!rh_c) continue;  // rh died under us; re-read the hat
+                Domain::store(nd->L, rh_c.get());  // line 65
                 if (Domain::dcas(right_hat_, rh->R, rh.get(), rhR.get(), nd.get(),
                                  nd.get())) {  // line 66
                     return;  // lines 67..68
@@ -108,22 +126,23 @@ class snark_deque {
     /// Mirror image of push_right.
     void push_left(V v) {
         local nd = Domain::template make<snode>();
-        local lh, lhL, rh;
         snode* dummy = dummy_ptr();
         Domain::store(nd->L, dummy);
         nd->value = std::move(v);
         for (;;) {
-            Domain::load(left_hat_, lh);
-            Domain::load(lh->L, lhL);
+            auto lh = Domain::load_borrowed(left_hat_);
+            auto lhL = Domain::load_borrowed(lh->L);
             if (!lhL) {  // left sentinel => empty
                 Domain::store(nd->R, dummy);
-                Domain::load(right_hat_, rh);
+                auto rh = Domain::load_borrowed(right_hat_);
                 if (Domain::dcas(left_hat_, right_hat_, lh.get(), rh.get(), nd.get(),
                                  nd.get())) {
                     return;
                 }
             } else {
-                Domain::store(nd->R, lh.get());
+                local lh_c = lh.promote();
+                if (!lh_c) continue;
+                Domain::store(nd->R, lh_c.get());
                 if (Domain::dcas(left_hat_, lh->L, lh.get(), lhL.get(), nd.get(),
                                  nd.get())) {
                     return;
@@ -133,27 +152,37 @@ class snark_deque {
     }
 
     /// popRight of the original algorithm, LFRC-transformed, null sentinels.
+    /// The empty probe and every failed attempt are pure borrows — popping
+    /// from an empty deque does not touch a single reference count.
     std::optional<V> pop_right() {
-        local rh, lh, rhR, rhL;
         snode* dummy = dummy_ptr();
         for (;;) {
-            Domain::load(right_hat_, rh);
-            Domain::load(left_hat_, lh);
-            Domain::load(rh->R, rhR);
+            auto rh = Domain::load_borrowed(right_hat_);
+            auto lh = Domain::load_borrowed(left_hat_);
+            auto rhR = Domain::load_borrowed(rh->R);
             if (!rhR) return std::nullopt;  // right sentinel => empty
-            if (rh == lh) {
-                // Single node: both hats retreat to Dummy.
+            if (rh.get() == lh.get()) {
+                // Single node: both hats retreat to Dummy. Hat-only DCAS —
+                // success proves the hats still counted rh. The borrow pin
+                // keeps *rh mapped for the value read even though the DCAS
+                // itself dropped rh's last counted references.
                 if (Domain::dcas(right_hat_, left_hat_, rh.get(), lh.get(), dummy,
                                  dummy)) {
                     return rh->value;
                 }
             } else {
-                Domain::load(rh->L, rhL);
+                // This branch writes rh->L and publishes rhL into the hat:
+                // promote both before touching any cells.
+                local rh_c = rh.promote();
+                if (!rh_c) continue;  // rh died under us
+                auto rhL = Domain::load_borrowed(rh->L);
+                local rhL_c = rhL.promote();
+                if (rhL && !rhL_c) continue;  // rhL died under us
                 // Swing RightHat left; install null (not a self-pointer) in
                 // rh->L so the popped node cannot anchor a garbage cycle.
-                if (Domain::dcas(right_hat_, rh->L, rh.get(), rhL.get(), rhL.get(),
+                if (Domain::dcas(right_hat_, rh->L, rh.get(), rhL.get(), rhL_c.get(),
                                  static_cast<snode*>(nullptr))) {
-                    V result = rh->value;
+                    V result = rh->value;  // rh_c keeps rh alive
                     return result;
                 }
             }
@@ -162,21 +191,24 @@ class snark_deque {
 
     /// Mirror image of pop_right.
     std::optional<V> pop_left() {
-        local lh, rh, lhL, lhR;
         snode* dummy = dummy_ptr();
         for (;;) {
-            Domain::load(left_hat_, lh);
-            Domain::load(right_hat_, rh);
-            Domain::load(lh->L, lhL);
+            auto lh = Domain::load_borrowed(left_hat_);
+            auto rh = Domain::load_borrowed(right_hat_);
+            auto lhL = Domain::load_borrowed(lh->L);
             if (!lhL) return std::nullopt;  // left sentinel => empty
-            if (lh == rh) {
+            if (lh.get() == rh.get()) {
                 if (Domain::dcas(left_hat_, right_hat_, lh.get(), rh.get(), dummy,
                                  dummy)) {
                     return lh->value;
                 }
             } else {
-                Domain::load(lh->R, lhR);
-                if (Domain::dcas(left_hat_, lh->R, lh.get(), lhR.get(), lhR.get(),
+                local lh_c = lh.promote();
+                if (!lh_c) continue;
+                auto lhR = Domain::load_borrowed(lh->R);
+                local lhR_c = lhR.promote();
+                if (lhR && !lhR_c) continue;
+                if (Domain::dcas(left_hat_, lh->R, lh.get(), lhR.get(), lhR_c.get(),
                                  static_cast<snode*>(nullptr))) {
                     V result = lh->value;
                     return result;
@@ -185,11 +217,12 @@ class snark_deque {
         }
     }
 
-    /// Racy emptiness probe (exact only at quiescence).
+    /// Racy emptiness probe (exact only at quiescence). Pure borrow: no
+    /// refcount traffic.
     bool empty() const {
         auto& self = const_cast<snark_deque&>(*this);
-        local rh = Domain::load_get(self.right_hat_);
-        local rhR = Domain::load_get(rh->R);
+        auto rh = Domain::load_borrowed(self.right_hat_);
+        auto rhR = Domain::load_borrowed(rh->R);
         return !rhR;
     }
 

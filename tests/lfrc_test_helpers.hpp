@@ -53,7 +53,8 @@ struct test_pair_node : D::object {
 };
 
 /// Flush deferred frees until the epoch domain reports nothing pending.
-/// Call only at quiescence.
-inline void drain_epochs() { lfrc::flush_deferred_frees(64); }
+/// Call only at quiescence. Returns the residual pending count (0 when the
+/// drain fully quiesced); footprint tests assert on it.
+inline std::uint64_t drain_epochs() { return lfrc::flush_deferred_frees(64); }
 
 }  // namespace lfrc_tests

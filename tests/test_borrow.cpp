@@ -1,0 +1,208 @@
+// Borrowed-reference fast path (docs/ALGORITHMS.md §8):
+//  * load_borrowed pays zero refcount traffic — the pointee's count and the
+//    global increment ledger are untouched;
+//  * a borrow keeps the pointee's STORAGE mapped past logical death (the
+//    epoch pin blocks physical free), and flush_deferred_frees reports the
+//    resulting residual instead of lying about quiescence;
+//  * promote() upgrades to a counted local_ptr iff the object is still
+//    logically alive — zero is absorbing, so a borrow can never resurrect
+//    a dead object;
+//  * borrowers racing destroy on the last counted reference never observe
+//    freed memory (the stress test's canary would explode under ASan/TSan
+//    if they did).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lfrc_test_helpers.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace {
+
+using namespace lfrc;
+using lfrc_tests::drain_epochs;
+using lfrc_tests::test_node;
+
+template <typename D>
+class BorrowTest : public ::testing::Test {
+  protected:
+    using node_t = test_node<D>;
+    void TearDown() override {
+        EXPECT_EQ(drain_epochs(), 0u) << "a borrow leaked its epoch pin";
+        EXPECT_EQ(node_t::live().load(), live_at_start_);
+    }
+    std::int64_t live_at_start_ = test_node<D>::live().load();
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(BorrowTest, Domains);
+
+TYPED_TEST(BorrowTest, BorrowSeesTheStoredPointer) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    D::store_alloc(shared, D::template make<node>(42));
+    {
+        auto b = D::load_borrowed(shared);
+        ASSERT_TRUE(b);
+        EXPECT_EQ(b->value, 42);
+        EXPECT_EQ(b.get(), D::load_get(shared).get());
+    }
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(BorrowTest, NullFieldBorrowsNull) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    auto b = D::load_borrowed(shared);
+    EXPECT_FALSE(b);
+    EXPECT_EQ(b.get(), nullptr);
+    EXPECT_FALSE(b.promote());
+}
+
+TYPED_TEST(BorrowTest, BorrowPaysNoCountTraffic) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    D::store_alloc(shared, D::template make<node>(1));
+    {
+        auto warm = D::load_borrowed(shared);  // touch the path once
+        (void)warm;
+    }
+    auto held = D::load_get(shared);
+    const auto rc_before = held->ref_count();
+    const auto before = D::counters().snapshot();
+    constexpr int reads = 1000;
+    for (int i = 0; i < reads; ++i) {
+        auto b = D::load_borrowed(shared);
+        ASSERT_EQ(b->value, 1);
+    }
+    const auto after = D::counters().snapshot();
+    EXPECT_EQ(after.increments, before.increments)
+        << "a borrow must not touch any reference count";
+    EXPECT_EQ(after.decrements, before.decrements);
+    EXPECT_EQ(after.borrows, before.borrows + reads);
+    EXPECT_EQ(held->ref_count(), rc_before);
+    held.reset();
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(BorrowTest, CopyAndMoveKeepThePinBalanced) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    D::store_alloc(shared, D::template make<node>(5));
+    {
+        auto a = D::load_borrowed(shared);
+        auto b = a;             // copy: second pin
+        auto c = std::move(a);  // move: transfers the first pin
+        EXPECT_EQ(b.get(), c.get());
+        EXPECT_FALSE(a);  // moved-from is empty and unpinned
+        b = c;            // self-overlapping reassign stays balanced
+        c.reset();
+        EXPECT_EQ(b->value, 5);
+    }  // TearDown's residual check catches any pin imbalance
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(BorrowTest, PromoteLiveObjectYieldsCountedRef) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    typename D::template ptr_field<node> shared;
+    D::store_alloc(shared, D::template make<node>(9));
+    {
+        auto b = D::load_borrowed(shared);
+        auto p = b.promote();
+        ASSERT_TRUE(p);
+        EXPECT_EQ(p.get(), b.get());
+        EXPECT_EQ(p->ref_count(), 2u);  // shared field + promoted local
+        b.reset();
+        EXPECT_EQ(p->value, 9);  // counted ref outlives the pin
+    }
+    D::store(shared, static_cast<node*>(nullptr));
+}
+
+TYPED_TEST(BorrowTest, BorrowOutlivesLogicalDeathAndPromoteFails) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    const auto live_before = node::live().load();
+    typename D::template ptr_field<node> shared;
+    D::store_alloc(shared, D::template make<node>(777));
+    {
+        auto b = D::load_borrowed(shared);
+        // Drop the last counted reference: the node is logically dead
+        // (count zero, children released) but our pin defers the free.
+        D::store(shared, static_cast<node*>(nullptr));
+        EXPECT_GT(drain_epochs(), 0u)
+            << "drain must report the free it could not run past our pin";
+        EXPECT_EQ(node::live().load(), live_before + 1)
+            << "physical destruction must wait for the pin";
+        EXPECT_EQ(b->value, 777);  // storage still mapped and intact
+        EXPECT_FALSE(b.promote()) << "zero is absorbing: no resurrection";
+    }
+    EXPECT_EQ(drain_epochs(), 0u);
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+// Borrowers race destroy on the last counted reference (the
+// test_failure_injection pattern): a writer keeps replacing the only
+// counted pointer to the hot node while borrowers read through it and
+// occasionally promote. The canary value proves the storage they touch is
+// never reused-or-freed under them; promote never yields a dead object.
+TYPED_TEST(BorrowTest, BorrowersRacingDestroyNeverSeeFreedMemory) {
+    using D = TypeParam;
+    using node = test_node<D>;
+    constexpr std::int64_t canary = 123456789;
+    const auto live_before = node::live().load();
+    {
+        typename D::template ptr_field<node> shared;
+        D::store_alloc(shared, D::template make<node>(canary));
+
+        constexpr int borrower_count = 3;
+        std::atomic<int> running{borrower_count};
+        std::atomic<std::uint64_t> bad_reads{0}, promotes{0}, dead_promotes{0};
+
+        std::vector<std::thread> borrowers;
+        for (int t = 0; t < borrower_count; ++t) {
+            borrowers.emplace_back([&, t] {
+                for (int i = 0; i < 2000; ++i) {
+                    auto b = D::load_borrowed(shared);
+                    if (!b) continue;  // transient null during a swap
+                    if (b->value != canary) bad_reads.fetch_add(1);
+                    if ((i + t) % 7 == 0) {
+                        auto p = b.promote();
+                        if (p) {
+                            promotes.fetch_add(1);
+                            if (p->value != canary) bad_reads.fetch_add(1);
+                        } else {
+                            dead_promotes.fetch_add(1);
+                        }
+                    }
+                }
+                running.fetch_sub(1);
+            });
+        }
+
+        // Writer: each store drops the previous node's LAST counted
+        // reference, so every iteration logically destroys an object that
+        // borrowers may still be reading. Churn until every borrower has
+        // finished its quota so the race actually overlaps.
+        while (running.load(std::memory_order_relaxed) != 0) {
+            D::store_alloc(shared, D::template make<node>(canary));
+        }
+        for (auto& th : borrowers) th.join();
+
+        D::store(shared, static_cast<node*>(nullptr));
+        EXPECT_EQ(bad_reads.load(), 0u)
+            << "a borrower observed freed or recycled storage";
+        EXPECT_GT(promotes.load(), 0u) << "stress never exercised promote";
+    }
+    EXPECT_EQ(drain_epochs(), 0u);
+    EXPECT_EQ(node::live().load(), live_before)
+        << "borrow pins must not leak objects past the race";
+}
+
+}  // namespace

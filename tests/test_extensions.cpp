@@ -98,7 +98,7 @@ TYPED_TEST(IncrementalTest, SharedTailCountedOncePerChain) {
         EXPECT_EQ(tail->ref_count(), 1u);
     }
     destroyer.step(100);
-    drain_epochs();
+    EXPECT_EQ(drain_epochs(), 0u) << "deferred frees failed to quiesce";
     EXPECT_EQ(node::live().load(), live_before);
 }
 

@@ -22,7 +22,7 @@ class LfrcOpsTest : public ::testing::Test {
   protected:
     using node_t = test_node<D>;
     void TearDown() override {
-        drain_epochs();
+        EXPECT_EQ(drain_epochs(), 0u) << "deferred frees failed to quiesce";
         EXPECT_EQ(node_t::live().load(), live_at_start_);
     }
     std::int64_t live_at_start_ = test_node<D>::live().load();

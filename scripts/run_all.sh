@@ -10,6 +10,21 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Model-checking config: deterministic schedule exploration (tests/sim).
+# Separate tree — LFRC_SIM instruments the hot paths, production stays pure.
+cmake -B build-sim -G Ninja -DLFRC_SIM=ON
+cmake --build build-sim
+ctest --test-dir build-sim -L sim --output-on-failure 2>&1 | tee sim_output.txt
+
+# Optional sanitizer matrix (slow): LFRC_RUN_SANITIZERS=1 ./scripts/run_all.sh
+if [[ "${LFRC_RUN_SANITIZERS:-0}" == "1" ]]; then
+  for san in thread address; do
+    cmake -B "build-$san" -G Ninja -DLFRC_SANITIZE=$san
+    cmake --build "build-$san"
+    ctest --test-dir "build-$san" --output-on-failure 2>&1 | tee "test_output_$san.txt"
+  done
+fi
+
 {
   for b in build/bench/*; do
     [[ -f "$b" && -x "$b" ]] || continue   # skip CMakeFiles/ etc.

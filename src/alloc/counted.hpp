@@ -10,6 +10,10 @@
 
 #include "alloc/stats.hpp"
 
+#if defined(LFRC_SIM)
+#include "sim/runtime.hpp"
+#endif
+
 namespace lfrc::alloc {
 
 template <typename T, typename... Args>
@@ -28,15 +32,27 @@ void counted_delete(T* p) noexcept {
 
 /// Mixin: derive to get allocation-counted operator new/delete.
 /// `sz` is passed by the compiler, so derived-class sizes are exact.
+///
+/// Under -DLFRC_SIM this is also the shadow-heap seam: LFRC-managed objects
+/// come from the sim arena during a schedule, frees are quarantined instead
+/// of returned to the OS, and double frees are flagged (sim/runtime.hpp).
 struct counted_base {
     static void* operator new(std::size_t sz) {
+#if defined(LFRC_SIM)
+        void* p = sim::managed_alloc(sz);
+#else
         void* p = ::operator new(sz);
+#endif
         note_alloc(sz);
         return p;
     }
     static void operator delete(void* p, std::size_t sz) noexcept {
         note_free(sz);
+#if defined(LFRC_SIM)
+        sim::managed_free(p, sz);
+#else
         ::operator delete(p);
+#endif
     }
 };
 

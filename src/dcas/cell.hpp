@@ -22,10 +22,17 @@
 #include <cassert>
 #include <cstdint>
 
+#include "sim/instrumented.hpp"
+
 namespace lfrc::dcas {
 
 class cell {
   public:
+    // std::atomic in production; the sim harness's scheduled-and-checked
+    // atomic under -DLFRC_SIM. Cells are where every cross-thread LFRC race
+    // happens, so this is the main instrumentation point.
+    using word_type = sim::instrumented_atomic<std::uint64_t>;
+
     cell() noexcept = default;
     explicit cell(std::uint64_t initial) noexcept : word_(initial) {}
 
@@ -33,11 +40,11 @@ class cell {
     cell& operator=(const cell&) = delete;
 
     /// Raw access for engines only; application code goes through an engine.
-    std::atomic<std::uint64_t>& raw() noexcept { return word_; }
-    const std::atomic<std::uint64_t>& raw() const noexcept { return word_; }
+    word_type& raw() noexcept { return word_; }
+    const word_type& raw() const noexcept { return word_; }
 
   private:
-    std::atomic<std::uint64_t> word_{0};
+    word_type word_{0};
 };
 
 inline constexpr std::uint64_t tag_mask = 0x3;

@@ -151,7 +151,10 @@ class mcas_engine {
             std::uint64_t old_val;
             std::uint64_t new_val;
         };
-        std::atomic<std::uint64_t> status{status_undecided};
+        // Instrumented like the cells: helpers race the owner on the status
+        // decision, and the sim scheduler must be able to park a thread
+        // between reading a descriptor pointer and reading its status.
+        sim::instrumented_atomic<std::uint64_t> status{status_undecided};
         std::uint32_t entry_count = 0;
         entry entries[4] = {};
     };

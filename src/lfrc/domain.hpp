@@ -440,6 +440,41 @@ class basic_domain {
         return out;
     }
 
+#if defined(LFRC_ENABLE_MUTATIONS)
+    /// MUTANT of load() for the sim harness's self-test ONLY (never compiled
+    /// into production or the normal test suite): the Valois-style bug the
+    /// paper's §2 uses to motivate DCAS. It increments the pointee's count
+    /// with a plain CAS on the count word alone, without re-validating that
+    /// *A still points at the object — so a racing final release between
+    /// line 4's read and the increment resurrects a logically dead object
+    /// (0 -> 1), and the later matching destroy retires it a second time.
+    /// tests/sim/sim_mutation_test.cpp asserts the schedule explorer
+    /// actually finds this within its budget.
+    template <typename T>
+    static void load_mutated_plain_cas(ptr_field<T>& A, local_ptr<T>& dest) {
+        reclaim::epoch_domain::guard pin(reclaim::epoch_domain::global());
+        T* old_dest = dest.p_;
+        for (;;) {
+            const std::uint64_t raw = Engine::read(A.cell_);
+            if (raw == 0) {
+                dest.p_ = nullptr;
+                break;
+            }
+            T* obj = dcas::decode_ptr<T>(raw);
+            dcas::cell& rc = static_cast<object*>(obj)->rc_;
+            const std::uint64_t r = Engine::read(rc);
+            // BUG (intentional): CAS instead of the Figure-2 DCAS — nothing
+            // ties the increment to *A's current value.
+            if (Engine::cas(rc, r, dcas::encode_count(dcas::decode_count(r) + 1))) {
+                counters().add_increments(1);
+                dest.p_ = obj;
+                break;
+            }
+        }
+        destroy(old_dest);
+    }
+#endif
+
     /// LFRCStore: store v into *A (lines 21..28).
     template <typename T>
     static void store(ptr_field<T>& A, T* v) {

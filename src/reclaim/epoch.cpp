@@ -164,6 +164,12 @@ void epoch_domain::reclaim_some(std::size_t slot, bool force) {
     }
 }
 
+void epoch_domain::clear_slot(std::size_t s) noexcept {
+    slot_record& rec = *slots_[s];
+    rec.depth = 0;
+    rec.state.store(0, std::memory_order_release);
+}
+
 void epoch_domain::drain_all() {
     try_advance();
     const std::size_t high = util::thread_registry::instance().high_water();

@@ -35,6 +35,7 @@
 #include <cstdint>
 
 #include "alloc/block_pool.hpp"
+#include "sim/instrumented.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
 
@@ -80,6 +81,14 @@ class epoch_domain {
     /// (repeatedly, interleaved with try_advance) to reach zero.
     void drain_all();
 
+    /// Forcibly un-pin a slot: reset nesting depth and announced state.
+    /// For virtual-thread harnesses (src/sim) that abandon a fiber mid
+    /// critical section — the harness guarantees the abandoned fiber never
+    /// runs again, so dropping its pin is the moral equivalent of the
+    /// thread-exit quiescence the destructor comment relies on. Never call
+    /// this for a slot whose owner may still execute.
+    void clear_slot(std::size_t s) noexcept;
+
     std::uint64_t global_epoch() const noexcept {
         return global_epoch_->load(std::memory_order_acquire);
     }
@@ -99,8 +108,10 @@ class epoch_domain {
     };
 
     struct slot_record {
-        // Bit 0: active flag; bits 1..: announced epoch.
-        std::atomic<std::uint64_t> state{0};
+        // Bit 0: active flag; bits 1..: announced epoch. Instrumented: the
+        // announce/validate handshake with try_advance is exactly the race
+        // the sim scheduler must be able to interleave.
+        sim::instrumented_atomic<std::uint64_t> state{0};
         // Owner-only nesting depth (never touched by other threads).
         std::uint64_t depth = 0;
         // Owner pushes; anyone may steal the whole stack via exchange.
@@ -133,7 +144,7 @@ class epoch_domain {
     retired_node* acquire_node();
     void release_node(retired_node* node) noexcept;
 
-    util::padded<std::atomic<std::uint64_t>> global_epoch_{std::uint64_t{1}};
+    util::padded<sim::instrumented_atomic<std::uint64_t>> global_epoch_{std::uint64_t{1}};
     // Internal bookkeeping nodes come from an untracked pool so the hot
     // retire path performs no heap allocation and leak accounting stays
     // application-only.

@@ -1,0 +1,30 @@
+// Build-config switch for instrumented atomics.
+//
+// Production hot-path types (dcas::cell's word, MCAS descriptor status,
+// epoch slot announcements) declare their atomic word as
+// `sim::instrumented_atomic<T>`. Under the LFRC_SIM CMake config that is
+// sim::atomic<T> (yields to the deterministic scheduler at every access and
+// validates the address against the shadow heap); in every other build it is
+// exactly std::atomic<T> — no wrapper, no overhead, identical layout.
+//
+// This header is safe to include from production code: without -DLFRC_SIM it
+// pulls in only <atomic>.
+#pragma once
+
+#include <atomic>
+
+#if defined(LFRC_SIM)
+#include "sim/shim.hpp"
+#endif
+
+namespace lfrc::sim {
+
+#if defined(LFRC_SIM)
+template <typename T>
+using instrumented_atomic = ::lfrc::sim::atomic<T>;
+#else
+template <typename T>
+using instrumented_atomic = ::std::atomic<T>;
+#endif
+
+}  // namespace lfrc::sim

@@ -1,0 +1,158 @@
+// lfrc::sim — deterministic schedule exploration (model checking) for LFRC.
+//
+// A Loom/relacy-style cooperative harness: a test spawns a handful of
+// *virtual threads* (ucontext fibers multiplexed on one OS thread), and the
+// scheduler context-switches between them at every instrumented
+// shared-memory access (sim::atomic in src/sim/shim.hpp — engine cells,
+// epoch announcements, MCAS descriptor status words). Exactly one virtual
+// thread runs at a time, so each access is an atomic step of the model and
+// the interleaving is fully determined by the schedule seed: seeded
+// pseudo-random exploration with optional preemption (depth) bounding, and
+// failing-seed replay.
+//
+// A shadow heap tracks every LFRC-managed allocation (alloc::counted_base
+// routes through managed_alloc/managed_free under -DLFRC_SIM): freed blocks
+// are quarantined — storage stays mapped and intact until schedule teardown
+// — and every instrumented access is checked against the shadow map, so the
+// harness flags, at the model level,
+//   * use-after-free   (instrumented access to a quarantined block),
+//   * double-free      (second physical free of one block),
+//   * leaks            (blocks still live after quiescent teardown),
+//   * residual pending (epoch domain cannot drain at full quiescence),
+//   * schedule budget  (step bound exceeded — livelock or runaway loop).
+//
+// Scope (v1, documented in DESIGN.md §8): sequentially consistent
+// exploration only. Weak-memory reorderings are out of scope — every
+// instrumented access is a seq_cst step — so this checks algorithmic
+// interleavings, not fence placement.
+//
+// Requires -DLFRC_SIM (the LFRC_SIM CMake config); see tests/sim/ for usage
+// and README.md for the failing-seed replay recipe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lfrc::sim {
+
+// ---- instrumentation points (called from shim.hpp / counted_base) --------
+
+/// True while a schedule is executing or tearing down in this process.
+bool active() noexcept;
+
+/// Possible context switch. No-op when no schedule is executing or when
+/// called off-fiber (e.g. from the scheduler context during teardown).
+void yield_point() noexcept;
+
+/// Shadow-heap check only (no scheduling): flags a use-after-free when
+/// `addr` falls inside a quarantined block. No-op when inactive.
+void access_check(const void* addr) noexcept;
+
+/// The full instrumented-access protocol: yield first (the switch happens
+/// *before* the access, so the access itself is the step boundary), then
+/// validate the address against the shadow heap.
+inline void memory_access(const void* addr) noexcept {
+    yield_point();
+    access_check(addr);
+}
+
+/// Flag a model violation from anywhere. Inside a fiber this abandons the
+/// fiber (the schedule is failed and never resumes it); off-fiber it records
+/// the violation and returns.
+void fail_here(const char* kind, const char* what) noexcept;
+
+// ---- allocator seam (alloc::counted_base under -DLFRC_SIM) ---------------
+
+/// Arena-backed tracked allocation during a run; plain ::operator new
+/// otherwise. Arena addresses are stable across schedules, keeping
+/// address-ordered code paths (MCAS entry sort, stripe ordering)
+/// schedule-deterministic within a process.
+void* managed_alloc(std::size_t bytes);
+
+/// Quarantines a tracked block (flags double-free); falls through to
+/// ::operator delete for blocks the shadow heap does not know.
+void managed_free(void* p, std::size_t bytes) noexcept;
+
+/// Tracked blocks currently live (allocated, not yet freed) in the active
+/// run. 0 when inactive. Tests use deltas of this where production tests
+/// would use live-object counters.
+std::size_t live_managed_blocks() noexcept;
+
+// ---- schedule exploration -------------------------------------------------
+
+struct options {
+    /// Base seed for schedule derivation; 0 means util::global_seed() (which
+    /// honours the LFRC_SEED environment variable).
+    std::uint64_t seed = 0;
+    /// Number of random schedules to explore (stops at first violation).
+    int schedules = 1000;
+    /// Per-schedule instrumented-step budget; exceeding it fails the
+    /// schedule as a possible livelock.
+    std::uint64_t max_steps = 200000;
+    /// Depth bound: maximum involuntary switches away from a runnable
+    /// fiber per schedule. Negative = unbounded. Small bounds (2..3) find
+    /// most bugs in a fraction of the schedule space (CHESS-style).
+    int preemption_bound = -1;
+    /// Flag blocks still live after quiescent teardown as leaks.
+    bool check_leaks = true;
+};
+
+struct result {
+    bool failed = false;
+    std::string kind;          ///< violation kind ("use-after-free", ...)
+    std::uint64_t failing_seed = 0;  ///< schedule seed to replay
+    std::string report;        ///< human-readable diagnosis with trace tail
+    int schedules_run = 0;
+    std::uint64_t total_steps = 0;
+    /// Order-sensitive hash of every explored schedule's choice sequence;
+    /// equal seeds must produce equal fingerprints (determinism contract).
+    std::uint64_t trace_fingerprint = 0;
+};
+
+/// Per-schedule test description. `build` (see explore) is invoked once per
+/// schedule with a fresh env; it spawns the virtual threads and may register
+/// a quiescence check. Shared state is created inside `build` (typically
+/// via std::shared_ptr captured by the bodies) so every schedule starts from
+/// the same initial heap.
+class env {
+  public:
+    /// Add a virtual thread. Bodies run under the cooperative scheduler and
+    /// must not block on OS primitives or spawn real threads; spin loops
+    /// are fine (util::backoff / spin_barrier yield through the sim hook).
+    void spawn(std::string label, std::function<void()> body) {
+        bodies_.emplace_back(std::move(label), std::move(body));
+    }
+    void spawn(std::function<void()> body) {
+        spawn("t" + std::to_string(bodies_.size()), std::move(body));
+    }
+
+    /// Register a check that runs after every spawned thread finished, on
+    /// the scheduler context (single-threaded, quiescent). Skipped when the
+    /// schedule already failed. Typical use: flush deferred frees and
+    /// assert residual-pending == 0 and structural invariants.
+    void on_quiesce(std::function<void()> fn) {
+        quiesce_.push_back(std::move(fn));
+    }
+
+  private:
+    friend struct run_access;
+    std::vector<std::pair<std::string, std::function<void()>>> bodies_;
+    std::vector<std::function<void()>> quiesce_;
+};
+
+/// Explore `opts.schedules` seeded schedules of the test `build` describes;
+/// stops at the first violation and reports its schedule seed. When the
+/// LFRC_SIM_SEED environment variable is set, runs exactly that one
+/// schedule instead (the replay recipe — see README.md).
+result explore(const options& opts, const std::function<void(env&)>& build);
+
+/// Re-run one specific schedule (a failing seed from explore) with full
+/// trace reporting.
+result replay(std::uint64_t schedule_seed, const options& opts,
+              const std::function<void(env&)>& build);
+
+}  // namespace lfrc::sim

@@ -1,0 +1,105 @@
+// sim::atomic<T> — the instrumented atomic the harness schedules around.
+//
+// Drop-in subset of std::atomic<T> for the repo's needs (load / store /
+// exchange / compare_exchange / fetch_add / fetch_sub). Every operation runs
+// the instrumented-access protocol (sim::memory_access): yield to the
+// scheduler *before* touching the cell — so the scheduler can interleave
+// another virtual thread between the program point and the access — then
+// validate the address against the shadow heap, catching accesses to memory
+// freed while this virtual thread was parked.
+//
+// Memory order arguments are accepted for source compatibility but the model
+// is sequentially consistent: one virtual thread runs at a time, so every
+// access is an atomic, totally ordered step (see runtime.hpp scope note).
+//
+// peek()/poke() are UNSCHEDULED accesses for the harness's own machinery
+// (ideal_dcas_engine models hardware DCAS as a single step built from
+// several peeks/pokes; teardown inspects state without perturbing traces).
+// They still run the use-after-free check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/runtime.hpp"
+
+namespace lfrc::sim {
+
+template <typename T>
+class atomic {
+  public:
+    atomic() noexcept = default;
+    constexpr atomic(T v) noexcept : v_(v) {}
+
+    atomic(const atomic&) = delete;
+    atomic& operator=(const atomic&) = delete;
+
+    T load(std::memory_order = std::memory_order_seq_cst) const noexcept {
+        step();
+        return v_.load(std::memory_order_seq_cst);
+    }
+
+    void store(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        v_.store(v, std::memory_order_seq_cst);
+    }
+
+    T exchange(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        return v_.exchange(v, std::memory_order_seq_cst);
+    }
+
+    bool compare_exchange_strong(T& expected, T desired,
+                                 std::memory_order = std::memory_order_seq_cst,
+                                 std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        return v_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+    }
+
+    bool compare_exchange_weak(T& expected, T desired,
+                               std::memory_order = std::memory_order_seq_cst,
+                               std::memory_order = std::memory_order_seq_cst) noexcept {
+        // One runnable thread at a time: weak CAS cannot fail spuriously in
+        // the model, so strong semantics keep schedules shorter.
+        return compare_exchange_strong(expected, desired);
+    }
+
+    template <typename U = T>
+    T fetch_add(U delta, std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        return v_.fetch_add(static_cast<T>(delta), std::memory_order_seq_cst);
+    }
+
+    template <typename U = T>
+    T fetch_sub(U delta, std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        return v_.fetch_sub(static_cast<T>(delta), std::memory_order_seq_cst);
+    }
+
+    // ---- unscheduled accessors (harness machinery only) ------------------
+
+    /// Read without a scheduling step (UAF check only).
+    T peek() const noexcept {
+        access_check(&v_);
+        return v_.load(std::memory_order_seq_cst);
+    }
+
+    /// Write without a scheduling step (UAF check only).
+    void poke(T v) noexcept {
+        access_check(&v_);
+        v_.store(v, std::memory_order_seq_cst);
+    }
+
+    /// CAS without a scheduling step (UAF check only).
+    bool poke_cas(T& expected, T desired) noexcept {
+        access_check(&v_);
+        return v_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+    }
+
+  private:
+    void step() const noexcept { memory_access(&v_); }
+
+    std::atomic<T> v_{};
+};
+
+}  // namespace lfrc::sim

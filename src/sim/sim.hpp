@@ -1,0 +1,11 @@
+// Umbrella header for the deterministic schedule-exploration harness.
+// See runtime.hpp for the model and its scope; tests/sim/ for usage.
+#pragma once
+
+#include "sim/instrumented.hpp"
+#include "sim/runtime.hpp"
+
+#if defined(LFRC_SIM)
+#include "sim/shim.hpp"
+#include "sim/sim_engine.hpp"
+#endif

@@ -1,0 +1,57 @@
+// ideal_dcas_engine — the paper's hardware DCAS, as one scheduler step.
+//
+// Detlefs et al. assume a hardware DCAS instruction (the 68020's CAS2).
+// Under the sim harness we can model exactly that: take one scheduling step
+// (the yield happens first, like every instrumented access), then perform
+// the whole two-word compare-and-swap with *unscheduled* peek/poke cell
+// accesses. Only one virtual thread is runnable at a time, so the composite
+// is atomic by construction — no descriptors, no helping, no intermediate
+// states ever visible to another virtual thread.
+//
+// Two uses:
+//  * checking the LFRC algorithms themselves against the paper's primitive
+//    (Figure 2 on ideal DCAS), independent of our software emulations;
+//  * differential runs: a schedule-space bug that appears on mcas_engine
+//    but not here is in the emulation, not in LFRC.
+//
+// Sim-only (-DLFRC_SIM): the atomicity argument is the single-runnable-
+// fiber invariant, which only the harness provides.
+#pragma once
+
+#if !defined(LFRC_SIM)
+#error "sim_engine.hpp models hardware DCAS atop the sim scheduler; build with LFRC_SIM"
+#endif
+
+#include <cstdint>
+
+#include "dcas/cell.hpp"
+#include "sim/runtime.hpp"
+#include "sim/shim.hpp"
+
+namespace lfrc::sim {
+
+struct ideal_dcas_engine {
+    static std::uint64_t read(dcas::cell& c) {
+        yield_point();
+        return c.raw().peek();
+    }
+
+    static bool cas(dcas::cell& c, std::uint64_t expected, std::uint64_t desired) {
+        yield_point();
+        return c.raw().poke_cas(expected, desired);
+    }
+
+    static bool dcas(dcas::cell& c0, dcas::cell& c1, std::uint64_t o0, std::uint64_t o1,
+                     std::uint64_t n0, std::uint64_t n1) {
+        yield_point();
+        // Atomic as a unit: no other fiber can run between these accesses.
+        if (c0.raw().peek() != o0 || c1.raw().peek() != o1) return false;
+        c0.raw().poke(n0);
+        c1.raw().poke(n1);
+        return true;
+    }
+
+    static const char* name() noexcept { return "sim-ideal-dcas"; }
+};
+
+}  // namespace lfrc::sim

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "util/sim_hook.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -31,6 +33,7 @@ class backoff {
     explicit backoff(std::uint32_t max_spins = 1024) noexcept : max_spins_(max_spins) {}
 
     void operator()() noexcept {
+        cooperative_yield();  // sim scheduler seam; no-op in production
         if (current_ > max_spins_) {
             std::this_thread::yield();
             return;

@@ -2,11 +2,15 @@
 //
 // splitmix64 seeds xoshiro256**; both are the reference public-domain
 // algorithms (Blackman & Vigna). Determinism per seed is part of the test
-// contract: a failing stress test reports its seed so it can be replayed.
+// contract: a failing stress test reports its seed so it can be replayed —
+// export LFRC_SEED=<n> (decimal or 0x-hex) to rerun any test with the same
+// process-wide base seed (see global_seed()).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 
 namespace lfrc::util {
 
@@ -61,10 +65,31 @@ class xoshiro256 {
     std::array<std::uint64_t, 4> s_{};
 };
 
-/// Per-thread generator, seeded from a global seed plus the thread id hash.
+/// Process-wide base seed, read once: the LFRC_SEED environment variable
+/// (decimal or 0x-hex) when set, a fixed default otherwise. Every replayable
+/// generator in the repo (thread_rng, the sim harness's schedule seeds)
+/// derives from it, so `LFRC_SEED=<n> ctest ...` reruns the same randomness.
+inline std::uint64_t global_seed() noexcept {
+    static const std::uint64_t seed = [] {
+        if (const char* env = std::getenv("LFRC_SEED")) {
+            char* end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 0);
+            if (end != env) return static_cast<std::uint64_t>(v);
+        }
+        return std::uint64_t{0x2545f4914f6cdd1dULL};
+    }();
+    return seed;
+}
+
+/// Per-thread generator, seeded from global_seed() plus a spawn-order
+/// counter — deterministic across runs when thread creation order is
+/// (unlike the previous address-derived seed, which changed with ASLR).
 inline xoshiro256& thread_rng() noexcept {
-    thread_local xoshiro256 rng{0x2545f4914f6cdd1dULL ^
-                                reinterpret_cast<std::uintptr_t>(&rng)};
+    static std::atomic<std::uint64_t> spawn_counter{0};
+    thread_local xoshiro256 rng{
+        global_seed() +
+        0x9e3779b97f4a7c15ULL *
+            (1 + spawn_counter.fetch_add(1, std::memory_order_relaxed))};
     return rng;
 }
 

@@ -1,0 +1,30 @@
+// Cooperative-yield seam for spin loops.
+//
+// A spin-wait (spin_barrier, engine stripe locks via util::backoff) makes
+// progress only when the thread it waits on gets CPU time. Under the
+// deterministic sim scheduler (src/sim) all "threads" are cooperative fibers
+// on one OS thread, so a spin loop that never yields to the scheduler holds
+// the token forever and deadlocks the model. Every spin loop therefore calls
+// cooperative_yield(); in production no hook is installed and the call is a
+// single relaxed load on a path that is already a contention stall.
+#pragma once
+
+#include <atomic>
+
+namespace lfrc::util {
+
+using cooperative_yield_fn = void (*)();
+
+inline std::atomic<cooperative_yield_fn>& cooperative_yield_hook() noexcept {
+    static std::atomic<cooperative_yield_fn> hook{nullptr};
+    return hook;
+}
+
+inline void cooperative_yield() noexcept {
+    if (cooperative_yield_fn fn =
+            cooperative_yield_hook().load(std::memory_order_acquire)) {
+        fn();
+    }
+}
+
+}  // namespace lfrc::util

@@ -1,4 +1,8 @@
 // Sense-reversing spin barrier for starting benchmark/test threads together.
+//
+// The wait loop yields through util::cooperative_yield() so the barrier also
+// works between the sim scheduler's fibers (a pure spin would never hand the
+// scheduler token back and the model would deadlock).
 #pragma once
 
 #include <atomic>
@@ -6,6 +10,7 @@
 #include <thread>
 
 #include "util/backoff.hpp"
+#include "util/sim_hook.hpp"
 
 namespace lfrc::util {
 
@@ -25,7 +30,10 @@ class spin_barrier {
             return;
         }
         backoff bo;
-        while (sense_.load(std::memory_order_acquire) != my_sense) bo();
+        while (sense_.load(std::memory_order_acquire) != my_sense) {
+            bo();
+            cooperative_yield();
+        }
     }
 
   private:

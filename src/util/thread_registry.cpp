@@ -1,9 +1,16 @@
 #include "util/thread_registry.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace lfrc::util {
+
+namespace {
+
+std::atomic<thread_registry::slot_override_fn> g_slot_override{nullptr};
+
+}  // namespace
 
 namespace {
 
@@ -33,7 +40,15 @@ thread_registry& thread_registry::instance() {
     return reg;
 }
 
+void thread_registry::set_slot_override(slot_override_fn fn) noexcept {
+    g_slot_override.store(fn, std::memory_order_release);
+}
+
 std::size_t thread_registry::slot() {
+    if (slot_override_fn fn = g_slot_override.load(std::memory_order_acquire)) {
+        const std::size_t s = fn();
+        if (s != max_threads) return s;
+    }
     thread_local slot_lease_impl lease;
     if (!lease.held) {
         lease.slot = slot_lease::acquire();

@@ -27,6 +27,27 @@ class thread_registry {
     /// once (a hard deployment limit, documented in the README).
     std::size_t slot();
 
+    // ---- Virtual-thread seam (src/sim) ----------------------------------
+    //
+    // The deterministic sim scheduler multiplexes many virtual threads onto
+    // one OS thread, so the thread_local lease in slot() would alias them
+    // all onto a single slot — corrupting every slot-keyed subsystem (epoch
+    // records, counter stripes). The harness instead acquires one slot per
+    // virtual thread explicitly and installs an override that resolves
+    // slot() to the currently scheduled virtual thread.
+
+    /// Per-call override for slot resolution. The function returns the
+    /// current virtual thread's slot, or max_threads to fall through to the
+    /// native thread_local path (e.g. when called off the scheduler).
+    /// Pass nullptr to uninstall.
+    using slot_override_fn = std::size_t (*)();
+    static void set_slot_override(slot_override_fn fn) noexcept;
+
+    /// Explicit slot management for virtual-thread harnesses: a slot not
+    /// tied to the calling OS thread's lifetime. Pair with release_slot.
+    std::size_t acquire_slot() { return acquire(); }
+    void release_slot(std::size_t s) noexcept { release(s); }
+
     /// One past the highest slot ever acquired; scan bound for subsystems.
     std::size_t high_water() const noexcept {
         return high_water_.load(std::memory_order_acquire);

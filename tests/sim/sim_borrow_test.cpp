@@ -1,0 +1,121 @@
+// Model checks for the epoch-borrowed fast path (load_borrowed / promote)
+// and for container-level races built on it — the interleavings the
+// wall-clock stress tests can only hope to hit, explored exhaustively
+// enough to trust.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "containers/lfrc_hash_set.hpp"
+#include "lfrc_test_helpers.hpp"
+#include "sim_test_support.hpp"
+
+namespace {
+
+using namespace sim_tests;
+
+template <class D>
+using node = lfrc_tests::test_node<D>;
+
+// promote() racing the final release: the increment-if-nonzero CAS must
+// either obtain a genuinely counted reference (object stays alive until the
+// fiber drops it) or observe zero and return null — never resurrect. The
+// borrow's epoch pin must keep the storage mapped throughout.
+template <class D>
+void check_promote_vs_final_release(std::uint64_t seed, int schedules) {
+    struct shared_t {
+        typename D::template ptr_field<node<D>> field;
+    };
+    const auto res = sim::explore(opts(seed, schedules), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        D::store_alloc(s->field, D::template make<node<D>>(7));
+        e.spawn("borrower", [s] {
+            auto b = D::load_borrowed(s->field);
+            if (!b) return;
+            if (b->value != 7) sim::fail_here("corrupt", "borrowed payload changed");
+            auto p = b.promote();
+            b.reset();  // pin dropped; only the counted ref (if any) remains
+            if (p && p->value != 7) sim::fail_here("corrupt", "promoted payload changed");
+        });
+        e.spawn("releaser", [s] {
+            D::store(s->field, static_cast<node<D>*>(nullptr));
+        });
+        e.on_quiesce([] { expect_quiesced_drain(); });
+    });
+    EXPECT_CLEAN(res);
+}
+
+TEST(SimBorrow, PromoteVsFinalRelease_Mcas) {
+    check_promote_vs_final_release<mcas_dom>(801, 400);
+}
+TEST(SimBorrow, PromoteVsFinalRelease_IdealDcas) {
+    check_promote_vs_final_release<ideal_dom>(802, 600);
+}
+
+// hash-set erase uses promote() inside the bucket's unlink protocol; race
+// two erasers of the same key against a borrowing reader and an inserter.
+// Structural truth at quiescence + the harness's memory invariants.
+template <class D>
+void check_hash_set_races(std::uint64_t seed, int schedules) {
+    using set_t = lfrc::containers::lfrc_hash_set<D, int>;
+    const auto res = sim::explore(opts(seed, schedules), [](sim::env& e) {
+        auto s = std::make_shared<set_t>(/*bucket_count=*/2);
+        for (int k = 1; k <= 3; ++k) ASSERT_TRUE(s->insert(k));
+        auto erased = std::make_shared<std::array<bool, 2>>();
+        e.spawn("e0", [s, erased] { (*erased)[0] = s->erase(2); });
+        e.spawn("e1", [s, erased] { (*erased)[1] = s->erase(2); });
+        e.spawn("rw", [s] {
+            (void)s->contains(2);  // may be either answer mid-race
+            if (!s->contains(1)) sim::fail_here("set-invariant", "untouched key vanished");
+            if (!s->insert(5)) sim::fail_here("set-invariant", "fresh key insert failed");
+        });
+        e.on_quiesce([s, erased] {
+            if ((*erased)[0] == (*erased)[1]) {
+                sim::fail_here("set-invariant", "key 2 erased twice (or zero times)");
+            }
+            if (s->contains(2)) sim::fail_here("set-invariant", "erased key still present");
+            if (!s->contains(1) || !s->contains(3) || !s->contains(5)) {
+                sim::fail_here("set-invariant", "surviving keys wrong at quiescence");
+            }
+            expect_quiesced_drain();
+        });
+    });
+    EXPECT_CLEAN(res);
+}
+
+TEST(SimBorrow, HashSetEraseContainsInsert_Mcas) { check_hash_set_races<mcas_dom>(901, 150); }
+TEST(SimBorrow, HashSetEraseContainsInsert_IdealDcas) {
+    check_hash_set_races<ideal_dom>(902, 300);
+}
+
+// flush_deferred_frees residual accounting: with every virtual thread
+// finished (nothing pinned), the flush must reach zero — asserted, not
+// assumed, on every explored schedule.
+TEST(SimBorrow, FlushResidualIsZeroAtQuiescence) {
+    using D = mcas_dom;
+    struct shared_t {
+        typename D::template ptr_field<node<D>> field;
+    };
+    const auto res = sim::explore(opts(1001, 250), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        for (int t = 0; t < 2; ++t) {
+            e.spawn([s, t] {
+                for (int i = 0; i < 2; ++i) {
+                    D::store_alloc(s->field, D::template make<node<D>>(t * 10 + i));
+                }
+            });
+        }
+        e.on_quiesce([s] {
+            D::store(s->field, static_cast<node<D>*>(nullptr));
+            const std::uint64_t residual = lfrc::flush_deferred_frees(64);
+            if (residual != 0) {
+                sim::fail_here("residual-pending",
+                               "deferred frees did not reach zero at full quiescence");
+            }
+        });
+    });
+    EXPECT_CLEAN(res);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Model checks for the Figure-2 LFRC operations, run on both engines:
+//  * mcas_dom — the production lock-free DCAS emulation under the shim
+//    (every cell and descriptor-status access is a scheduler step);
+//  * ideal_dom — the paper's assumed hardware DCAS as one atomic step.
+// Invariants come from the harness (no UAF, no double free, no leak, drains
+// at quiescence) plus explicit structural checks at quiesce time.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lfrc_test_helpers.hpp"
+#include "sim_test_support.hpp"
+
+namespace {
+
+using namespace sim_tests;
+
+template <class D>
+using node = lfrc_tests::test_node<D>;
+
+// Writers race store/store_alloc against a reader's counted loads on one
+// shared pointer; any count slip becomes a premature free (UAF), a double
+// retire (double free), or a leak.
+template <class D>
+void check_load_store(std::uint64_t seed, int schedules) {
+    struct shared_t {
+        typename D::template ptr_field<node<D>> field;
+    };
+    const auto res = sim::explore(opts(seed, schedules), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        e.spawn("w0", [s] {
+            for (int i = 0; i < 2; ++i) D::store_alloc(s->field, D::template make<node<D>>(i));
+        });
+        e.spawn("w1", [s] {
+            auto mine = D::template make<node<D>>(100);
+            D::store(s->field, mine);
+        });
+        e.spawn("r", [s] {
+            typename D::template local_ptr<node<D>> got;
+            for (int i = 0; i < 2; ++i) {
+                D::load(s->field, got);
+                if (got && got->value < 0) sim::fail_here("corrupt", "impossible payload");
+            }
+        });
+        e.on_quiesce([s] {
+            D::store(s->field, static_cast<node<D>*>(nullptr));
+            expect_quiesced_drain();
+        });
+    });
+    EXPECT_CLEAN(res);
+}
+
+TEST(SimLfrcOps, LoadStoreNoUafNoLeak_Mcas) { check_load_store<mcas_dom>(501, 250); }
+TEST(SimLfrcOps, LoadStoreNoUafNoLeak_IdealDcas) { check_load_store<ideal_dom>(502, 400); }
+
+// Two racing LFRCDCASes on the same pair of fields: exactly one commits,
+// both its words land together (both-or-neither), and the count bookkeeping
+// of winner and loser leaves a drainable heap.
+template <class D>
+void check_dcas_both_or_neither(std::uint64_t seed, int schedules) {
+    struct shared_t {
+        typename D::template ptr_field<node<D>> A;
+        typename D::template ptr_field<node<D>> B;
+        node<D>* a0 = nullptr;
+        node<D>* b0 = nullptr;
+        node<D>* fresh[2][2] = {};
+        bool won[2] = {};
+    };
+    const auto res = sim::explore(opts(seed, schedules), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        {
+            auto a = D::template make<node<D>>(1);
+            auto b = D::template make<node<D>>(2);
+            s->a0 = a.get();
+            s->b0 = b.get();
+            D::store(s->A, a);
+            D::store(s->B, b);
+        }
+        for (int t = 0; t < 2; ++t) {
+            e.spawn([s, t] {
+                auto na = D::template make<node<D>>(10 + t);
+                auto nb = D::template make<node<D>>(20 + t);
+                s->fresh[t][0] = na.get();
+                s->fresh[t][1] = nb.get();
+                s->won[t] = D::dcas(s->A, s->B, s->a0, s->b0, na.get(), nb.get());
+            });
+        }
+        e.on_quiesce([s] {
+            if (s->won[0] == s->won[1]) {
+                sim::fail_here("dcas-atomicity", "expected exactly one DCAS to commit");
+                return;
+            }
+            const int w = s->won[0] ? 0 : 1;
+            node<D>* const a_now = s->A.exclusive_get();
+            node<D>* const b_now = s->B.exclusive_get();
+            if (a_now != s->fresh[w][0] || b_now != s->fresh[w][1]) {
+                sim::fail_here("dcas-atomicity", "winner's words did not land together");
+                return;
+            }
+            // Bookkeeping: the shared fields hold the only remaining count.
+            if (a_now->ref_count() != 1 || b_now->ref_count() != 1) {
+                sim::fail_here("refcount", "post-DCAS count is not the field's single +1");
+                return;
+            }
+            D::store(s->A, static_cast<node<D>*>(nullptr));
+            D::store(s->B, static_cast<node<D>*>(nullptr));
+            expect_quiesced_drain();
+        });
+    });
+    EXPECT_CLEAN(res);
+}
+
+TEST(SimLfrcOps, DcasBothOrNeither_Mcas) { check_dcas_both_or_neither<mcas_dom>(601, 200); }
+TEST(SimLfrcOps, DcasBothOrNeither_IdealDcas) {
+    check_dcas_both_or_neither<ideal_dom>(602, 400);
+}
+
+// The §2 motivating race, on the CORRECT operation: LFRCLoad racing the
+// final release (store null drops the only count). The DCAS in load must
+// never resurrect the dead object — no schedule may produce a UAF or a
+// double retire.
+template <class D>
+void check_load_vs_final_release(std::uint64_t seed, int schedules) {
+    struct shared_t {
+        typename D::template ptr_field<node<D>> field;
+    };
+    const auto res = sim::explore(opts(seed, schedules), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        D::store_alloc(s->field, D::template make<node<D>>(42));
+        e.spawn("loader", [s] {
+            typename D::template local_ptr<node<D>> got;
+            D::load(s->field, got);
+            if (got && got->value != 42) sim::fail_here("corrupt", "payload changed");
+        });
+        e.spawn("releaser", [s] {
+            D::store(s->field, static_cast<node<D>*>(nullptr));
+        });
+        e.on_quiesce([] { expect_quiesced_drain(); });
+    });
+    EXPECT_CLEAN(res);
+}
+
+TEST(SimLfrcOps, LoadVsFinalRelease_Mcas) { check_load_vs_final_release<mcas_dom>(701, 400); }
+TEST(SimLfrcOps, LoadVsFinalRelease_IdealDcas) {
+    check_load_vs_final_release<ideal_dom>(702, 600);
+}
+
+}  // namespace

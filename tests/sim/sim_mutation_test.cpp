@@ -1,0 +1,96 @@
+// Mutation self-test: the harness is only trustworthy if it actually FINDS
+// the bug class it exists for. This suite compiles the deliberately broken
+// LFRCLoad variant (domain.hpp, -DLFRC_ENABLE_MUTATIONS: plain CAS on the
+// count word instead of the Figure-2 DCAS — the Valois-style flaw §2 of the
+// paper uses to motivate DCAS) and requires the explorer to catch it within
+// a bounded schedule budget, while the correct operation sails through the
+// identical harness and budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "lfrc_test_helpers.hpp"
+#include "sim_test_support.hpp"
+
+namespace {
+
+using namespace sim_tests;
+
+using D = mcas_dom;
+using node = lfrc_tests::test_node<D>;
+
+struct shared_t {
+    typename D::template ptr_field<node> field;
+};
+
+constexpr int k_budget = 3000;  // schedules the mutant must be caught within
+
+// The §2 scenario: one loader racing the final release of the only shared
+// reference. With the mutant, the loader can read *A, get descheduled while
+// the releaser drops the count to zero and retires the object, then CAS the
+// count 0 -> 1 — resurrecting a dead object. The loader's later release
+// retires it a second time: the shadow heap reports the double free (or a
+// use-after-free if the resurrected object's cells are touched after the
+// first deferred free runs).
+template <bool Mutated>
+sim::result run_load_race(std::uint64_t seed, int schedules) {
+    return sim::explore(opts(seed, schedules), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        D::store_alloc(s->field, D::make<node>(7));
+        e.spawn("loader", [s] {
+            typename D::local_ptr<node> got;
+            if constexpr (Mutated) {
+                D::load_mutated_plain_cas(s->field, got);
+            } else {
+                D::load(s->field, got);
+            }
+            // `got` (if any) is released here — the mutant's double retire.
+        });
+        e.spawn("releaser", [s] {
+            D::store(s->field, static_cast<node*>(nullptr));
+        });
+        e.on_quiesce([] { expect_quiesced_drain(); });
+    });
+}
+
+TEST(SimMutation, PlainCasLoadMutantIsCaughtWithinBudget) {
+    const auto res = run_load_race</*Mutated=*/true>(4242, k_budget);
+    ASSERT_TRUE(res.failed)
+        << "the seeded LFRCLoad bug survived " << k_budget
+        << " schedules — the explorer lost its teeth";
+    EXPECT_TRUE(res.kind == "double-free" || res.kind == "use-after-free")
+        << "unexpected violation kind '" << res.kind << "'\n"
+        << res.report;
+    EXPECT_LE(res.schedules_run, k_budget);
+}
+
+TEST(SimMutation, FailingSeedReplaysDeterministically) {
+    const auto found = run_load_race</*Mutated=*/true>(4242, k_budget);
+    ASSERT_TRUE(found.failed);
+    // Replaying the reported seed must reproduce the same violation kind on
+    // the first and only schedule — the README recipe, in test form.
+    const auto replayed = sim::replay(found.failing_seed, opts(4242, 1), [](sim::env& e) {
+        auto s = std::make_shared<shared_t>();
+        D::store_alloc(s->field, D::make<node>(7));
+        e.spawn("loader", [s] {
+            typename D::local_ptr<node> got;
+            D::load_mutated_plain_cas(s->field, got);
+        });
+        e.spawn("releaser", [s] {
+            D::store(s->field, static_cast<node*>(nullptr));
+        });
+        e.on_quiesce([] { expect_quiesced_drain(); });
+    });
+    EXPECT_TRUE(replayed.failed) << "failing seed " << found.failing_seed
+                                 << " did not reproduce";
+    EXPECT_EQ(replayed.kind, found.kind);
+}
+
+TEST(SimMutation, CorrectLoadPassesTheSameHarness) {
+    const auto res = run_load_race</*Mutated=*/false>(4242, k_budget);
+    EXPECT_CLEAN(res);
+    EXPECT_EQ(res.schedules_run, k_budget);
+}
+
+}  // namespace

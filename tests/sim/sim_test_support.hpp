@@ -1,0 +1,49 @@
+// Shared pieces for the schedule-exploration test suite (tests/sim).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "lfrc/lfrc.hpp"
+#include "sim/sim.hpp"
+
+namespace sim_tests {
+
+namespace sim = lfrc::sim;
+
+/// The real domain under the shim: MCAS-emulated DCAS, every cell and
+/// descriptor-status access a scheduler step. Fine-grained — finds races in
+/// the emulation as well as in LFRC itself.
+using mcas_dom = lfrc::domain;
+
+/// LFRC on the paper's assumed hardware DCAS (one atomic step). Far fewer
+/// steps per operation, so schedule spaces are denser in algorithm-level
+/// interleavings; use it for container-level checks.
+using ideal_dom = lfrc::basic_domain<sim::ideal_dcas_engine>;
+
+/// Deterministic per-test exploration options. gtest tests pass an explicit
+/// base seed so one test's schedule count never shifts another's sequence.
+inline sim::options opts(std::uint64_t seed, int schedules,
+                         std::uint64_t max_steps = 200000) {
+    sim::options o;
+    o.seed = seed;
+    o.schedules = schedules;
+    o.max_steps = max_steps;
+    return o;
+}
+
+/// Quiesce helper: flush deferred frees and report a model violation if the
+/// epoch domain cannot reach zero with every virtual thread finished.
+inline void expect_quiesced_drain() {
+    const std::uint64_t residual = lfrc::flush_deferred_frees(64);
+    if (residual != 0) {
+        sim::fail_here("residual-pending",
+                       "flush_deferred_frees left pending frees at quiescence");
+    }
+}
+
+}  // namespace sim_tests
+
+#define EXPECT_CLEAN(res)                                                         \
+    EXPECT_FALSE((res).failed) << (res).kind << "\n"                              \
+                               << (res).report << "\n(schedules run: "            \
+                               << (res).schedules_run << ")"

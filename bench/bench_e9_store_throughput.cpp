@@ -1,0 +1,174 @@
+// Experiment E9 — end-to-end KV-store throughput by reclaimer policy
+// (DESIGN.md §9 / EXPERIMENTS.md E9).
+//
+// E6 measured the cost of counted loads on one hot pointer in isolation;
+// E9 asks the question the paper's §6 comparison actually turns on: what
+// does the reclamation discipline cost *in a serving workload*, where
+// lookups walk hash buckets, writes churn value objects, and the hot set
+// is zipf-skewed? Five configurations run the same closed-loop 80/20
+// get/put mix (YCSB zipf(0.99) keys) through src/store/workload.hpp:
+//
+//   lfrc-counted  kv_store, every lookup through LFRCLoad/load_linked —
+//                 the paper's Figure-2 discipline end to end;
+//   lfrc-borrow   kv_store, epoch-borrowed read fast path — LFRC
+//                 ownership with protection-priced reads;
+//   ebr           plain_store + epoch-based reclamation (what "the GC
+//                 will handle it" costs when the GC is an epoch scheme);
+//   hp            plain_store + hazard pointers (Michael 2002);
+//   leaky         plain_store, never frees — the unsafe ceiling.
+//
+// Expected shape: leaky >= ebr ~ lfrc-borrow > hp > lfrc-counted, with
+// the borrow-vs-counted gap growing with threads (count DCASes serialize
+// on hot keys' value cells; zipf makes some keys hot by construction).
+//
+//   --duration=0.4 --threads=1,4,8 --keyspace=16384 --get_percent=80
+//   --theta=0.99 [--json=BENCH_e9.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "containers/reclaimer_policies.hpp"
+#include "lfrc/lfrc.hpp"
+#include "store/store.hpp"
+#include "store/workload.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace lfrc;
+
+namespace {
+
+std::vector<int> parse_thread_list(const std::string& spec) {
+    std::vector<int> out;
+    int cur = 0;
+    bool have = false;
+    for (const char c : spec) {
+        if (c >= '0' && c <= '9') {
+            cur = cur * 10 + (c - '0');
+            have = true;
+        } else if (have) {
+            out.push_back(cur);
+            cur = 0;
+            have = false;
+        }
+    }
+    if (have) out.push_back(cur);
+    if (out.empty()) out.push_back(1);
+    return out;
+}
+
+struct run_row {
+    std::string policy;
+    int threads = 0;
+    double mops = 0.0;
+    double hit_rate = 0.0;
+    std::uint64_t residual = 0;  ///< deferred frees left after drain (LFRC only)
+};
+
+store::workload_config base_config(const util::cli_flags& flags, int threads) {
+    store::workload_config cfg;
+    cfg.threads = threads;
+    cfg.duration_seconds = flags.get_double("duration", 0.4);
+    cfg.keyspace = flags.get_u64("keyspace", 1ULL << 14);
+    cfg.get_percent = static_cast<int>(flags.get_u64("get_percent", 80));
+    cfg.zipf_theta = flags.get_double("theta", 0.99);
+    cfg.seed = flags.get_u64("seed", 1);
+    return cfg;
+}
+
+template <typename Ops, typename Store>
+run_row run_one(Store& s, const store::workload_config& cfg) {
+    Ops ops(s);
+    const auto res = store::run_workload(ops, cfg);
+    run_row row;
+    row.policy = Ops::name();
+    row.threads = cfg.threads;
+    row.mops = res.mops();
+    row.hit_rate = res.hit_rate();
+    return row;
+}
+
+run_row run_lfrc(bool borrow, const store::workload_config& cfg) {
+    using store_t = store::kv_store<domain, std::uint64_t, std::uint64_t>;
+    store_t s(store_t::config{8, 64});
+    run_row row = borrow ? run_one<store::kv_store_borrow_ops<domain>>(s, cfg)
+                         : run_one<store::kv_store_counted_ops<domain>>(s, cfg);
+    row.residual = s.drain();
+    return row;
+}
+
+template <typename Policy>
+run_row run_plain(const store::workload_config& cfg) {
+    store::plain_store<std::uint64_t, std::uint64_t, Policy> s(512);
+    return run_one<store::plain_store_ops<Policy>>(s, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::cli_flags flags(argc, argv);
+    const auto thread_counts = parse_thread_list(flags.get_string("threads", "1,4,8"));
+
+    std::printf("E9: KV-store throughput (Mops/s), %d%%/%d%% get/put, zipf "
+                "theta=%.2f, keyspace=%llu, duration/cell=%.2fs\n\n",
+                static_cast<int>(flags.get_u64("get_percent", 80)),
+                100 - static_cast<int>(flags.get_u64("get_percent", 80)),
+                flags.get_double("theta", 0.99),
+                static_cast<unsigned long long>(flags.get_u64("keyspace", 1ULL << 14)),
+                flags.get_double("duration", 0.4));
+
+    std::vector<run_row> rows;
+    util::table table({"threads", "policy", "Mops/s", "hit-rate", "residual"});
+    for (const int threads : thread_counts) {
+        const auto cfg = base_config(flags, threads);
+        // Order is cheapest-reclaimer-last so a leak in one cell can't
+        // inflate RSS for the ones after it.
+        rows.push_back(run_lfrc(/*borrow=*/false, cfg));
+        rows.push_back(run_lfrc(/*borrow=*/true, cfg));
+        rows.push_back(run_plain<containers::ebr_policy>(cfg));
+        rows.push_back(run_plain<containers::hp_policy>(cfg));
+        rows.push_back(run_plain<containers::leaky_policy>(cfg));
+        for (std::size_t i = rows.size() - 5; i < rows.size(); ++i) {
+            const run_row& r = rows[i];
+            table.add_row({std::to_string(r.threads), r.policy,
+                           util::table::fmt(r.mops), util::table::fmt(r.hit_rate),
+                           std::to_string(r.residual)});
+        }
+    }
+    table.print();
+
+    std::printf("\nshape check: lfrc-borrow should track ebr (both pay one epoch\n"
+                "pin per read) and pull away from lfrc-counted as threads grow;\n"
+                "leaky is the unsafe ceiling. residual=0 confirms every LFRC run\n"
+                "drained its deferred frees after the store's graceful shutdown.\n");
+
+    const std::string json_path = flags.get_string("json", "");
+    if (!json_path.empty()) {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "E9: cannot open %s for writing\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"e9_store_throughput\",\n"
+                        "  \"get_percent\": %d,\n  \"zipf_theta\": %.2f,\n"
+                        "  \"keyspace\": %llu,\n  \"duration_per_cell_sec\": %.3f,\n"
+                        "  \"rows\": [\n",
+                     static_cast<int>(flags.get_u64("get_percent", 80)),
+                     flags.get_double("theta", 0.99),
+                     static_cast<unsigned long long>(flags.get_u64("keyspace", 1ULL << 14)),
+                     flags.get_double("duration", 0.4));
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const run_row& r = rows[i];
+            std::fprintf(f,
+                         "    {\"threads\": %d, \"policy\": \"%s\", \"mops\": %.3f, "
+                         "\"hit_rate\": %.3f, \"residual\": %llu}%s\n",
+                         r.threads, r.policy.c_str(), r.mops, r.hit_rate,
+                         static_cast<unsigned long long>(r.residual),
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -5,6 +5,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --ci: run the fail-fast tier-1 matrix (release/tsan/asan/sim) instead of
+# the full experiment sweep. See scripts/ci.sh.
+if [[ "${1:-}" == "--ci" ]]; then
+  shift
+  exec ./scripts/ci.sh "$@"
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 
@@ -35,6 +42,10 @@ fi
       # Also emit the machine-readable perf baseline (BENCH_e6.json) so
       # future PRs have a trajectory for the borrow-vs-counted-load gap.
       "$b" --max_threads=8 --json=BENCH_e6.json
+    elif [[ "$(basename "$b")" == "bench_e9_store_throughput" ]]; then
+      # End-to-end store throughput baseline (BENCH_e9.json): the
+      # reclaimer-policy comparison EXPERIMENTS.md E9 tracks across PRs.
+      "$b" --threads=1,4,8 --json=BENCH_e9.json
     else
       "$b"
     fi

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "containers/lfrc_list.hpp"
+#include "util/hash.hpp"
 
 namespace lfrc::containers {
 
@@ -52,11 +53,7 @@ class lfrc_hash_set {
 
     bucket_t& bucket_for(const Key& key) {
         // Mix the hash so sequential integer keys still spread.
-        std::uint64_t h = hasher_(key);
-        h ^= h >> 33;
-        h *= 0xff51afd7ed558ccdULL;
-        h ^= h >> 33;
-        return *buckets_[h % buckets_.size()];
+        return *buckets_[util::mix64(hasher_(key)) % buckets_.size()];
     }
 
     Hash hasher_;

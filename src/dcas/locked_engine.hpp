@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 #include "dcas/cell.hpp"
@@ -49,6 +50,53 @@ class locked_engine {
         c0.raw().store(n0, std::memory_order_release);
         c1.raw().store(n1, std::memory_order_release);
         return true;
+    }
+
+    /// Generalized N-word CAS, mirroring mcas_engine::casn so the two
+    /// engines stay differential-testable on every domain operation.
+    /// Stripe-order acquisition (deduplicated) keeps it deadlock-free.
+    static constexpr std::size_t max_casn = 4;
+
+    struct casn_op {
+        cell* target;
+        std::uint64_t expected;
+        std::uint64_t desired;
+    };
+
+    static bool casn(casn_op* ops, std::size_t n) noexcept {
+        assert(n >= 1 && n <= max_casn);
+        std::size_t stripes[max_casn];
+        for (std::size_t i = 0; i < n; ++i) stripes[i] = stripe_of(ops[i].target);
+        // Insertion-sort then skip duplicates (n <= 4).
+        for (std::size_t i = 1; i < n; ++i) {
+            const std::size_t key = stripes[i];
+            std::size_t j = i;
+            for (; j > 0 && key < stripes[j - 1]; --j) stripes[j] = stripes[j - 1];
+            stripes[j] = key;
+        }
+        std::size_t held = 0;
+        std::atomic_flag* locks[max_casn];
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i > 0 && stripes[i] == stripes[i - 1]) continue;
+            std::atomic_flag& f = stripe(stripes[i]);
+            util::backoff bo;
+            while (f.test_and_set(std::memory_order_acquire)) bo();
+            locks[held++] = &f;
+        }
+        bool ok = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ops[i].target->raw().load(std::memory_order_relaxed) != ops[i].expected) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            for (std::size_t i = 0; i < n; ++i) {
+                ops[i].target->raw().store(ops[i].desired, std::memory_order_release);
+            }
+        }
+        while (held > 0) locks[--held]->clear(std::memory_order_release);
+        return ok;
     }
 
   private:

@@ -605,6 +605,19 @@ class basic_domain {
         ll_field(const ll_field&) = delete;
         ll_field& operator=(const ll_field&) = delete;
 
+        /// Raw decoded pointer. Safe only with exclusive access — the same
+        /// contract as ptr_field::exclusive_get. Objects whose
+        /// lfrc_visit_children must report an ll_field's pointee use this.
+        T* exclusive_get() const noexcept {
+            static_assert(std::is_base_of_v<object, T>,
+                          "ll_field may only hold LFRC-managed objects");
+            const std::uint64_t v =
+                const_cast<dcas::cell&>(ptr_).raw().load(std::memory_order_acquire);
+            assert(dcas::is_clean_value(v) &&
+                   "exclusive_get observed an in-flight engine descriptor");
+            return dcas::decode_ptr<T>(v);
+        }
+
       private:
         friend class basic_domain;
         dcas::cell ptr_{0};
@@ -647,6 +660,32 @@ class basic_domain {
         return token;
     }
 
+    /// Borrowed read of an ll_field: an epoch-pinned, count-free snapshot of
+    /// the (pointer, version) pair. The validate loop re-reads the version
+    /// after the pointer so the pair is coherent — the returned version is
+    /// the one under which the returned pointer was the field's value. Same
+    /// usage rules as every borrow (reads only; promote before writes); pair
+    /// the version with a later counted load_linked + store_conditional to
+    /// get an optimistic read / conditional write protocol with zero count
+    /// traffic on the read side (the store's versioned get/cas).
+    template <typename T>
+    static borrow_ptr<T> load_borrowed(ll_field<T>& A,
+                                       std::uint64_t* version_out = nullptr) {
+        borrow_ptr<T> out;
+        reclaim::epoch_domain::global().enter();
+        out.pinned_ = true;
+        for (;;) {
+            const std::uint64_t v = dcas::decode_count(Engine::read(A.version_));
+            const std::uint64_t raw = Engine::read(A.ptr_);
+            if (dcas::decode_count(Engine::read(A.version_)) != v) continue;
+            out.p_ = dcas::decode_ptr<T>(raw);
+            if (version_out != nullptr) *version_out = v;
+            break;
+        }
+        counters().add_borrows(1);
+        return out;
+    }
+
     /// LFRCStoreConditional: store v iff no write hit A since `token`.
     /// `old0` is the value the caller load_linked (needed for the DCAS and
     /// the count bookkeeping). Returns false — with counts restored — on
@@ -662,6 +701,58 @@ class basic_domain {
             return true;
         }
         destroy(new0);
+        return false;
+    }
+
+    /// store_conditional that additionally requires a flag to hold a given
+    /// value AT the write's linearization point (a 3-word CASN over ptr,
+    /// version, and the flag cell). The store subsystem uses this to install
+    /// values only into entries that are still live: a recheck-after-write
+    /// protocol can let a value be transiently visible in an entry a racing
+    /// eraser already claimed — visible, then silently gone with no erase to
+    /// account for it. Making liveness part of the write itself closes that
+    /// window. Count bookkeeping is store_conditional's exactly.
+    template <typename T>
+    static bool store_conditional_if_flag(ll_field<T>& A, link_token token, T* old0,
+                                          T* new0, flag_field& F, bool flag_required) {
+        reclaim::epoch_domain::guard pin(reclaim::epoch_domain::global());
+        if (new0 != nullptr) add_to_rc(new0, 1);
+        typename Engine::casn_op ops[3] = {
+            {&A.ptr_, dcas::encode_ptr(old0), dcas::encode_ptr(new0)},
+            {&A.version_, dcas::encode_count(token.version),
+             dcas::encode_count(token.version + 1)},
+            {&F.cell_, flag_field::encode(flag_required),
+             flag_field::encode(flag_required)},
+        };
+        if (Engine::casn(ops, 3)) {
+            destroy(old0);
+            return true;
+        }
+        destroy(new0);
+        return false;
+    }
+
+    /// Atomically claim an ll_field's value AND raise a flag: the field goes
+    /// old0 -> null (version bumped) while F goes false -> true, as one CASN.
+    /// This is the eraser's linearization point — the value it witnessed via
+    /// load_linked is removed in the same instant the entry is marked dead,
+    /// so no later writer can slip a value into the entry between the
+    /// snapshot and the mark. On success the field's reference to old0 is
+    /// dropped (the caller's own counted reference is untouched).
+    template <typename T>
+    static bool claim_and_set_flag(ll_field<T>& A, link_token token, T* old0,
+                                   flag_field& F) {
+        reclaim::epoch_domain::guard pin(reclaim::epoch_domain::global());
+        typename Engine::casn_op ops[3] = {
+            {&A.ptr_, dcas::encode_ptr(old0), 0},
+            {&A.version_, dcas::encode_count(token.version),
+             dcas::encode_count(token.version + 1)},
+            {&F.cell_, flag_field::encode(false), flag_field::encode(true)},
+        };
+        if (Engine::casn(ops, 3)) {
+            destroy(old0);
+            return true;
+        }
         return false;
     }
 

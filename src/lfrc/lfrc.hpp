@@ -24,14 +24,32 @@ using domain = basic_domain<dcas::mcas_engine>;
 using locked_domain = basic_domain<dcas::locked_engine>;
 
 /// Drive the deferred physical frees to completion. Call at quiescence
-/// (tests, footprint sampling) — concurrent use is safe but may not reach
-/// zero while other threads pin epochs (including held borrow_ptrs).
-/// Returns the residual pending count: 0 means every deferred free ran;
-/// nonzero means something still pins an epoch and the caller should not
-/// assume the heap is quiesced.
+/// (tests, footprint sampling, store shard drains) — concurrent use is safe
+/// but may not reach zero while other threads pin epochs (including held
+/// borrow_ptrs). Returns the residual pending count: 0 means every deferred
+/// free ran; nonzero means something still pins an epoch and the caller
+/// should not assume the heap is quiesced.
+///
+/// The loop is bounded two ways, so a drain can never spin forever on a
+/// pathological pending list: `rounds` caps total iterations, and a
+/// stall detector exits early once several consecutive rounds free nothing.
+/// With nothing pinned, a round's try_advance always moves the epoch, so a
+/// healthy drain shows progress within the grace period (3 epochs) — a
+/// stall longer than that means a pin is held and more rounds cannot help;
+/// each futile round would cost an O(pending) walk.
 inline std::uint64_t flush_deferred_frees(int rounds = 16) {
     auto& domain_ref = reclaim::epoch_domain::global();
-    for (int i = 0; i < rounds && domain_ref.pending() != 0; ++i) {
+    std::uint64_t prev = ~std::uint64_t{0};
+    int stalled_rounds = 0;
+    for (int i = 0; i < rounds; ++i) {
+        const std::uint64_t p = domain_ref.pending();
+        if (p == 0) break;
+        if (p >= prev) {
+            if (++stalled_rounds > 4) break;  // > grace period with no progress
+        } else {
+            stalled_rounds = 0;
+        }
+        prev = p;
         domain_ref.try_advance();
         domain_ref.drain_all();
     }

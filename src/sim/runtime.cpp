@@ -466,10 +466,23 @@ result explore(const options& opts, const std::function<void(env&)>& build) {
         const unsigned long long v = std::strtoull(env_seed, &end, 0);
         if (end != env_seed) return replay(static_cast<std::uint64_t>(v), opts, build);
     }
+    // LFRC_SIM_SCHEDULES caps every test's budget from outside — the CI
+    // quick cell (scripts/ci.sh) runs the whole suite at a few hundred
+    // schedules; overnight exploration raises it without a rebuild. A cap
+    // only ever shrinks a test's own budget (seeds are derived identically,
+    // so the capped run explores a prefix of the full run's schedules).
+    int schedules = opts.schedules;
+    if (const char* env_budget = std::getenv("LFRC_SIM_SCHEDULES")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env_budget, &end, 0);
+        if (end != env_budget && v > 0 && static_cast<int>(v) < schedules) {
+            schedules = static_cast<int>(v);
+        }
+    }
     result res;
     std::uint64_t chain = opts.seed != 0 ? opts.seed : util::global_seed();
     std::uint64_t fingerprint = fnv_offset;
-    for (int i = 0; i < opts.schedules; ++i) {
+    for (int i = 0; i < schedules; ++i) {
         const std::uint64_t schedule_seed = util::splitmix64(chain);
         schedule_outcome out = run_one_schedule(schedule_seed, opts, build);
         ++res.schedules_run;

@@ -147,7 +147,9 @@ class env {
 /// Explore `opts.schedules` seeded schedules of the test `build` describes;
 /// stops at the first violation and reports its schedule seed. When the
 /// LFRC_SIM_SEED environment variable is set, runs exactly that one
-/// schedule instead (the replay recipe — see README.md).
+/// schedule instead (the replay recipe — see README.md). When
+/// LFRC_SIM_SCHEDULES is set, it caps the budget (never raises it) — the
+/// CI quick cell's knob.
 result explore(const options& opts, const std::function<void(env&)>& build);
 
 /// Re-run one specific schedule (a failing seed from explore) with full

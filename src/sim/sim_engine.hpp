@@ -51,6 +51,26 @@ struct ideal_dcas_engine {
         return true;
     }
 
+    /// Ideal N-word CAS (CASN as one instruction), same shape as
+    /// mcas_engine::casn — so the store's flag-conditioned writes can be
+    /// model-checked against the hardware-primitive baseline too.
+    static constexpr std::size_t max_casn = 4;
+
+    struct casn_op {
+        dcas::cell* target;
+        std::uint64_t expected;
+        std::uint64_t desired;
+    };
+
+    static bool casn(casn_op* ops, std::size_t n) {
+        yield_point();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ops[i].target->raw().peek() != ops[i].expected) return false;
+        }
+        for (std::size_t i = 0; i < n; ++i) ops[i].target->raw().poke(ops[i].desired);
+        return true;
+    }
+
     static const char* name() noexcept { return "sim-ideal-dcas"; }
 };
 

@@ -1,0 +1,210 @@
+// plain_store — the GC-dependent baseline KV store for experiment E9.
+//
+// Same interface shape as lfrc::store::kv_store, but built the way a store
+// is written when *something else* reclaims memory: raw atomics, pointer
+// CAS exchanges, and a pluggable reclamation policy (epoch / hazard /
+// leaky) standing in for the garbage collector the paper's §1 assumes
+// away. This is the "what LFRC buys you" contrast:
+//
+//   * entry nodes are immortal — prepend-only bucket chains, one node per
+//     key, freed only in the destructor. Value boxes are the churn: every
+//     put/cas/erase retires the displaced box through Policy::retire, and
+//     every read holds a Policy::guard across the dereference.
+//   * versions live inside the box (a fresh box copies predecessor's
+//     version + 1), not beside the pointer — so unlike the LFRC store's
+//     LL/SC cell, cas() here compares a version it re-reads through the
+//     box pointer. The guard makes the dereference safe; the single CAS on
+//     the pointer makes the version check atomic enough because versions
+//     are strictly increasing per entry (a box pointer never recurs:
+//     retired boxes are not reused while guarded, and a new box always
+//     carries a higher version).
+//
+// No TTL sweeping machinery here: expiry is checked on read, same contract
+// as the LFRC store (explicit now_ns, 0 = immortal), because E9 measures
+// reclamation cost, not cache policy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/hash.hpp"
+
+namespace lfrc::store {
+
+template <typename Key, typename Value, typename Policy,
+          typename Hash = std::hash<Key>>
+class plain_store {
+  public:
+    explicit plain_store(std::size_t buckets = 512) : buckets_(buckets) {}
+
+    plain_store(const plain_store&) = delete;
+    plain_store& operator=(const plain_store&) = delete;
+
+    ~plain_store() {
+        // Quiesced teardown: nothing guards anything now, free directly.
+        for (auto& head : buckets_) {
+            node* n = head->load(std::memory_order_relaxed);
+            while (n != nullptr) {
+                node* next = n->next;
+                delete n->val.load(std::memory_order_relaxed);
+                delete n;
+                n = next;
+            }
+        }
+    }
+
+    std::optional<Value> get(const Key& key, std::uint64_t now_ns = 0) {
+        node* n = find(key);
+        if (n == nullptr) return std::nullopt;
+        typename Policy::guard g;
+        vbox* b = g.protect0(n->val);
+        if (b == nullptr || expired(b, now_ns)) return std::nullopt;
+        return b->payload;
+    }
+
+    void put(const Key& key, Value value, std::uint64_t ttl_ns = 0,
+             std::uint64_t now_ns = 0) {
+        node* n = find_or_insert(key);
+        vbox* fresh = new vbox{std::move(value), 0, deadline(ttl_ns, now_ns)};
+        typename Policy::guard g;
+        for (;;) {
+            vbox* old = g.protect0(n->val);
+            fresh->version = (old != nullptr ? old->version : 0) + 1;
+            if (n->val.compare_exchange_weak(old, fresh, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                if (old != nullptr) Policy::retire(old);
+                return;
+            }
+        }
+    }
+
+    /// Install iff the entry's current box version equals expected_version;
+    /// expected_version 0 is create-if-absent.
+    bool cas(const Key& key, std::uint64_t expected_version, Value value,
+             std::uint64_t ttl_ns = 0, std::uint64_t now_ns = 0) {
+        node* n = find_or_insert(key);
+        vbox* fresh = new vbox{std::move(value), expected_version + 1,
+                               deadline(ttl_ns, now_ns)};
+        typename Policy::guard g;
+        for (;;) {
+            vbox* old = g.protect0(n->val);
+            const std::uint64_t cur = old != nullptr ? old->version : 0;
+            if (cur != expected_version) {
+                delete fresh;
+                return false;
+            }
+            if (n->val.compare_exchange_weak(old, fresh, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                if (old != nullptr) Policy::retire(old);
+                return true;
+            }
+        }
+    }
+
+    bool erase(const Key& key, std::uint64_t now_ns = 0) {
+        node* n = find(key);
+        if (n == nullptr) return false;
+        typename Policy::guard g;
+        for (;;) {
+            vbox* old = g.protect0(n->val);
+            if (old == nullptr) return false;
+            if (n->val.compare_exchange_weak(old, nullptr, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+                const bool live = !expired(old, now_ns);
+                Policy::retire(old);
+                return live;
+            }
+        }
+    }
+
+    /// Current box version for the key (0 = absent); feeds cas().
+    std::uint64_t version_of(const Key& key) {
+        node* n = find(key);
+        if (n == nullptr) return 0;
+        typename Policy::guard g;
+        vbox* b = g.protect0(n->val);
+        return b != nullptr ? b->version : 0;
+    }
+
+    std::size_t size(std::uint64_t now_ns = 0) {
+        std::size_t count = 0;
+        typename Policy::guard g;
+        for (auto& head : buckets_) {
+            for (node* n = head->load(std::memory_order_acquire); n != nullptr;
+                 n = n->next) {
+                vbox* b = g.protect0(n->val);
+                if (b != nullptr && !expired(b, now_ns)) ++count;
+            }
+        }
+        return count;
+    }
+
+    static constexpr const char* policy_name() { return Policy::name(); }
+
+  private:
+    struct vbox {
+        Value payload;
+        std::uint64_t version;
+        std::uint64_t expires_at_ns;  ///< 0 = never expires
+    };
+
+    struct node {
+        explicit node(Key k) : key(std::move(k)) {}
+        const Key key;
+        std::atomic<vbox*> val{nullptr};
+        node* next = nullptr;  ///< immutable after the head-CAS publishes it
+    };
+
+    static bool expired(const vbox* b, std::uint64_t now_ns) noexcept {
+        return b->expires_at_ns != 0 && b->expires_at_ns <= now_ns;
+    }
+
+    static std::uint64_t deadline(std::uint64_t ttl_ns, std::uint64_t now_ns) noexcept {
+        return ttl_ns == 0 ? 0 : now_ns + ttl_ns;
+    }
+
+    std::atomic<node*>& head_for(const Key& key) {
+        return *buckets_[util::mix64(hasher_(key)) % buckets_.size()];
+    }
+
+    node* find(const Key& key) {
+        // Nodes are immortal and next is frozen at publish: no guard needed
+        // for the chain walk itself.
+        for (node* n = head_for(key).load(std::memory_order_acquire); n != nullptr;
+             n = n->next) {
+            if (n->key == key) return n;
+        }
+        return nullptr;
+    }
+
+    node* find_or_insert(const Key& key) {
+        std::atomic<node*>& head = head_for(key);
+        for (;;) {
+            node* h = head.load(std::memory_order_acquire);
+            // Walk from the head we'll CAS against: if the key is anywhere,
+            // it is at or below h (prepend-only), so a successful CAS on h
+            // proves no duplicate raced in — one node per key.
+            for (node* n = h; n != nullptr; n = n->next) {
+                if (n->key == key) return n;
+            }
+            node* fresh = new node(key);
+            fresh->next = h;
+            if (head.compare_exchange_weak(h, fresh, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+                return fresh;
+            }
+            delete fresh;  // lost the race; re-scan includes the winner
+        }
+    }
+
+    Hash hasher_;
+    std::vector<util::padded<std::atomic<node*>>> buckets_;
+};
+
+}  // namespace lfrc::store

@@ -1,0 +1,433 @@
+// lfrc::store — a sharded, GC-independent in-memory key-value store where
+// every value is an LFRC-counted object.
+//
+// This is the layer that composes the repo's individual containers into a
+// serving workload: the shape concurrent-reference-counting systems are
+// judged by (Anderson/Blelloch/Wei's store benchmarks; Brown's reclaimer
+// comparisons). Everything below is built from existing seams — no new
+// synchronization primitives:
+//
+//   sharding      N power-of-two shards, each a fixed array of
+//                 containers::lfrc_list_core buckets (the DCAS-deletion
+//                 list that backs lfrc_hash_set), so contention and chain
+//                 length shrink by shards × buckets.
+//   values        每 entry owns its current value through an
+//                 ll_field<value_box>: a (pointer, version) cell pair. The
+//                 pointer half carries the LFRC count; the version half
+//                 makes every write observable, which is what get/cas key
+//                 off. Versions are per-entry value-slot versions: 0 means
+//                 "no value ever written here" (absent), and an entry
+//                 reincarnated after erase restarts at 0 — consistent,
+//                 because version 0 *means* absent.
+//   reads         get() walks the bucket on the epoch-borrowed fast path
+//                 (borrow_ptr end to end: entry and value box) — zero
+//                 refcount traffic per read. get_counted() is the same
+//                 lookup through counted LFRCLoads, kept as the workload
+//                 driver's "counted" reclaimer-policy axis.
+//   writes        put = load_linked + store_conditional_if_flag (version
+//                 bump, conditioned on the entry being live);
+//                 cas = the same with a version precondition — the LL/SC
+//                 extension's CASN on (pointer, version, dead-flag) is
+//                 exactly "compare-and-swap on the value version, iff the
+//                 entry still holds the key".
+//   TTL           value boxes carry an absolute expiry deadline; reads
+//                 treat expired boxes as misses and lazily clear them with
+//                 a version-tied store_conditional (so an expiry sweep can
+//                 never clobber a racing fresh put). sweep() does the same
+//                 eagerly and pairs with flush_deferred_frees so the
+//                 memory actually shrinks.
+//   shutdown      drain() severs every bucket chain (the whole structure
+//                 unravels through lfrc_visit_children) and drives
+//                 flush_deferred_frees to its bounded completion.
+//
+// Linearizability around entry removal: erase claims the entry's value AND
+// marks the entry dead in ONE atomic step (Domain::claim_and_set_flag, a
+// 3-word CASN over the value pointer, its version, and the dead flag), and
+// every value write (put/cas/expiry) is conditioned on the flag still being
+// false in the same step (Domain::store_conditional_if_flag). So a value
+// can never land in an entry a racing eraser has claimed: the write either
+// linearizes strictly before the erase (the eraser's snapshot saw it) or
+// fails and retries against the key's current entry. The earlier
+// write-then-recheck protocol left a window where a put's value was
+// transiently visible, then vanished with erase reporting false — a lost
+// update the sim harness (tests/sim/sim_store_test.cpp) caught; the CASN
+// closes it. A dead entry's frozen (null) value slot and chain link are
+// released by lfrc_visit_children, so nothing leaks either way.
+//
+// The store never reads a clock: expiry decisions take `now_ns` explicitly
+// (callers use util::stopwatch / steady_clock; tests and the sim harness
+// pass synthetic times, keeping schedules deterministic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "containers/lfrc_list.hpp"
+#include "lfrc/lfrc.hpp"
+#include "util/cacheline.hpp"
+#include "util/hash.hpp"
+
+namespace lfrc::store {
+
+/// Aggregated operation counters (per-shard striped; see kv_store::stats).
+struct store_stats {
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t cas_ok = 0;
+    std::uint64_t cas_fail = 0;
+    std::uint64_t expired = 0;
+
+    double hit_rate() const {
+        return gets > 0 ? static_cast<double>(hits) / static_cast<double>(gets) : 0.0;
+    }
+};
+
+template <typename Domain, typename Key, typename Value, typename Hash = std::hash<Key>>
+class kv_store {
+  public:
+    struct config {
+        std::size_t shards = 8;             ///< rounded up to a power of two
+        std::size_t buckets_per_shard = 64;
+    };
+
+    /// A versioned read: `found` distinguishes a live value from absence;
+    /// `version` is the entry's value-slot version either way (0 = absent /
+    /// never written), usable as the expected version of a later cas().
+    struct versioned {
+        bool found = false;
+        Value value{};
+        std::uint64_t version = 0;
+    };
+
+    explicit kv_store(config cfg = {}) {
+        std::size_t n = 1;
+        while (n < cfg.shards) n <<= 1;
+        shard_mask_ = n - 1;
+        const std::size_t buckets = cfg.buckets_per_shard > 0 ? cfg.buckets_per_shard : 1;
+        shards_.reserve(n);
+        for (std::size_t s = 0; s < n; ++s) {
+            auto sh = std::make_unique<shard_t>();
+            sh->buckets.reserve(buckets);
+            for (std::size_t b = 0; b < buckets; ++b) {
+                sh->buckets.push_back(std::make_unique<bucket_t>());
+            }
+            shards_.push_back(std::move(sh));
+        }
+    }
+
+    kv_store(const kv_store&) = delete;
+    kv_store& operator=(const kv_store&) = delete;
+
+    // ---- reads ---------------------------------------------------------
+
+    /// Borrowed fast-path read: one epoch pin, zero refcount traffic. An
+    /// expired value reads as a miss and is lazily cleared (version-tied,
+    /// so the clear can never race out a fresh put).
+    std::optional<Value> get(const Key& key, std::uint64_t now_ns = 0) {
+        shard_t& sh = shard_for(key);
+        sh.stats->gets.fetch_add(1, std::memory_order_relaxed);
+        auto entry = bucket_for(sh, key).find_borrowed(key);
+        if (!entry) return std::nullopt;
+        std::uint64_t version = 0;
+        auto box = Domain::load_borrowed(entry->val, &version);
+        if (!box) return std::nullopt;
+        if (expired(box.get(), now_ns)) {
+            lazy_expire(sh, entry.promote(), now_ns);
+            return std::nullopt;
+        }
+        sh.stats->hits.fetch_add(1, std::memory_order_relaxed);
+        return box->payload;
+    }
+
+    /// The same read through counted references (LFRCLoad + LL): the
+    /// workload driver's "counted" reclaimer-policy axis, and the variant
+    /// to use when the returned value must be read without copying while
+    /// outliving any pin.
+    std::optional<Value> get_counted(const Key& key, std::uint64_t now_ns = 0) {
+        shard_t& sh = shard_for(key);
+        sh.stats->gets.fetch_add(1, std::memory_order_relaxed);
+        auto entry = bucket_for(sh, key).find_counted(key);
+        if (!entry) return std::nullopt;
+        typename Domain::template local_ptr<box_t> box;
+        Domain::load_linked(entry->val, box);
+        if (!box) return std::nullopt;
+        if (expired(box.get(), now_ns)) {
+            lazy_expire(sh, std::move(entry), now_ns);
+            return std::nullopt;
+        }
+        sh.stats->hits.fetch_add(1, std::memory_order_relaxed);
+        return box->payload;
+    }
+
+    /// Borrowed read returning the value-slot version alongside the value;
+    /// the version feeds a later cas(). Absent keys report version 0.
+    versioned get_versioned(const Key& key, std::uint64_t now_ns = 0) {
+        shard_t& sh = shard_for(key);
+        sh.stats->gets.fetch_add(1, std::memory_order_relaxed);
+        auto entry = bucket_for(sh, key).find_borrowed(key);
+        if (!entry) return {};
+        std::uint64_t version = 0;
+        auto box = Domain::load_borrowed(entry->val, &version);
+        if (!box || expired(box.get(), now_ns)) {
+            if (box && expired(box.get(), now_ns)) {
+                lazy_expire(sh, entry.promote(), now_ns);
+                // The clear (ours or a racer's) bumped the version past the
+                // one we read; report absence at the version we witnessed —
+                // a cas from it will fail and re-read, which is correct.
+            }
+            return versioned{false, Value{}, version};
+        }
+        sh.stats->hits.fetch_add(1, std::memory_order_relaxed);
+        return versioned{true, box->payload, version};
+    }
+
+    // ---- writes --------------------------------------------------------
+
+    /// Unconditional upsert. `ttl_ns` of 0 means the value never expires;
+    /// otherwise it expires at now_ns + ttl_ns.
+    void put(const Key& key, Value value, std::uint64_t ttl_ns = 0,
+             std::uint64_t now_ns = 0) {
+        shard_t& sh = shard_for(key);
+        sh.stats->puts.fetch_add(1, std::memory_order_relaxed);
+        auto box = Domain::template make<box_t>(std::move(value), deadline(ttl_ns, now_ns));
+        bucket_t& bucket = bucket_for(sh, key);
+        for (;;) {
+            auto [entry, inserted] = bucket.get_or_insert(key, [&] {
+                return Domain::template make<entry_t>(key);
+            });
+            while (!entry->dead.load()) {
+                typename Domain::template local_ptr<box_t> cur;
+                const auto token = Domain::load_linked(entry->val, cur);
+                // The install is atomic with "entry still live" (header
+                // comment): a racing erase either sees our value in its
+                // claim or makes this fail, never both and never neither.
+                if (Domain::store_conditional_if_flag(entry->val, token, cur.get(),
+                                                      box.get(), entry->dead,
+                                                      /*flag_required=*/false)) {
+                    return;
+                }
+            }
+            // Entry died under us; its value slot is frozen. Re-search: the
+            // key's current entry (or a fresh one) takes the value.
+        }
+    }
+
+    /// Version compare-and-swap: install `value` iff the key's value-slot
+    /// version still equals `expected_version`. expected_version 0 is
+    /// create-if-absent. The underlying store_conditional DCASes the
+    /// (pointer, version) pair, so an intervening put/erase/expiry — even an
+    /// ABA rewrite of the same pointer — fails the cas.
+    bool cas(const Key& key, std::uint64_t expected_version, Value value,
+             std::uint64_t ttl_ns = 0, std::uint64_t now_ns = 0) {
+        shard_t& sh = shard_for(key);
+        auto box = Domain::template make<box_t>(std::move(value), deadline(ttl_ns, now_ns));
+        bucket_t& bucket = bucket_for(sh, key);
+        for (;;) {
+            auto [entry, inserted] = bucket.get_or_insert(key, [&] {
+                return Domain::template make<entry_t>(key);
+            });
+            while (!entry->dead.load()) {
+                typename Domain::template local_ptr<box_t> cur;
+                const auto token = Domain::load_linked(entry->val, cur);
+                if (entry->dead.load()) break;  // frozen slot: judge fresh state
+                if (token.version != expected_version) {
+                    sh.stats->cas_fail.fetch_add(1, std::memory_order_relaxed);
+                    return false;
+                }
+                if (Domain::store_conditional_if_flag(entry->val, token, cur.get(),
+                                                      box.get(), entry->dead,
+                                                      /*flag_required=*/false)) {
+                    sh.stats->cas_ok.fetch_add(1, std::memory_order_relaxed);
+                    return true;
+                }
+                // CASN failed: version moved or the entry died. Re-read; the
+                // dead checks above route a dead entry back to re-search.
+            }
+        }
+    }
+
+    /// Remove the key. Returns true when a live, unexpired value was
+    /// removed. The value claim and the dead-mark are one CASN (header
+    /// comment), so the value this call removes is exactly the one it
+    /// witnessed — no write can slip in between snapshot and mark.
+    bool erase(const Key& key, std::uint64_t now_ns = 0) {
+        shard_t& sh = shard_for(key);
+        bucket_t& bucket = bucket_for(sh, key);
+        for (;;) {
+            auto entry = bucket.find_counted(key);
+            if (!entry) return false;
+            typename Domain::template local_ptr<box_t> cur;
+            const auto token = Domain::load_linked(entry->val, cur);
+            if (!Domain::claim_and_set_flag(entry->val, token, cur.get(), entry->dead)) {
+                if (entry->dead.load()) return false;  // racing erase claimed it
+                continue;  // a write moved the value under us; re-decide
+            }
+            bucket.help_unlink(key);  // eager physical removal of the dead node
+            sh.stats->erases.fetch_add(1, std::memory_order_relaxed);
+            return cur && !expired(cur.get(), now_ns);
+        }
+    }
+
+    // ---- maintenance ---------------------------------------------------
+
+    /// Eagerly clear every expired value (version-tied, so racing fresh
+    /// puts survive), then drive the deferred frees so the reclaimed boxes
+    /// actually leave the heap. Returns the number of values expired.
+    std::size_t sweep_expired(std::uint64_t now_ns, int flush_rounds = 16) {
+        std::size_t cleared = 0;
+        for (auto& sh : shards_) {
+            for (auto& bucket : sh->buckets) {
+                bucket->for_each_borrowed([&](const auto& entry_borrow) {
+                    std::uint64_t version = 0;
+                    auto box = Domain::load_borrowed(entry_borrow->val, &version);
+                    if (!box || !expired(box.get(), now_ns)) return;
+                    if (lazy_expire(*sh, entry_borrow.promote(), now_ns)) ++cleared;
+                });
+            }
+        }
+        flush_deferred_frees(flush_rounds);
+        return cleared;
+    }
+
+    /// Graceful shutdown: sever every bucket chain and drain the deferred
+    /// frees. Returns the residual pending count (0 = fully quiesced; see
+    /// flush_deferred_frees for why nonzero means a pin is still held).
+    /// Writers must be quiesced first (clear() contract).
+    std::uint64_t drain(int flush_rounds = 64) {
+        for (auto& sh : shards_) {
+            for (auto& bucket : sh->buckets) bucket->clear();
+        }
+        return flush_deferred_frees(flush_rounds);
+    }
+
+    // ---- introspection -------------------------------------------------
+
+    /// Live, unexpired entries. Exact only at quiescence.
+    std::size_t size(std::uint64_t now_ns = 0) {
+        std::size_t n = 0;
+        for (auto& sh : shards_) {
+            for (auto& bucket : sh->buckets) {
+                bucket->for_each_borrowed([&](const auto& entry_borrow) {
+                    auto box = Domain::load_borrowed(entry_borrow->val);
+                    if (box && !expired(box.get(), now_ns)) ++n;
+                });
+            }
+        }
+        return n;
+    }
+
+    std::size_t shard_count() const noexcept { return shard_mask_ + 1; }
+    std::size_t bucket_count() const noexcept {
+        return shard_count() * shards_.front()->buckets.size();
+    }
+
+    /// Aggregate of the per-shard striped counters.
+    store_stats stats() const {
+        store_stats total;
+        for (const auto& sh : shards_) {
+            total.gets += sh->stats->gets.load(std::memory_order_relaxed);
+            total.hits += sh->stats->hits.load(std::memory_order_relaxed);
+            total.puts += sh->stats->puts.load(std::memory_order_relaxed);
+            total.erases += sh->stats->erases.load(std::memory_order_relaxed);
+            total.cas_ok += sh->stats->cas_ok.load(std::memory_order_relaxed);
+            total.cas_fail += sh->stats->cas_fail.load(std::memory_order_relaxed);
+            total.expired += sh->stats->expired.load(std::memory_order_relaxed);
+        }
+        return total;
+    }
+
+  private:
+    /// The value cell: an immutable payload plus its expiry deadline. A
+    /// leaf of the ownership graph — entries point at boxes, never back.
+    struct box_t : Domain::object {
+        Value payload;
+        std::uint64_t expires_at_ns;  ///< 0 = never expires
+
+        box_t(Value v, std::uint64_t dl) : payload(std::move(v)), expires_at_ns(dl) {}
+        void lfrc_visit_children(typename Domain::child_visitor&) noexcept override {}
+    };
+
+    /// A key's slot in its bucket list: the lfrc_list_core node contract
+    /// (next/dead/key) plus the versioned value field.
+    struct entry_t : Domain::object {
+        typename Domain::template ptr_field<entry_t> next;
+        typename Domain::flag_field dead;
+        typename Domain::template ll_field<box_t> val;
+        Key key{};
+
+        entry_t() = default;
+        explicit entry_t(Key k) : key(std::move(k)) {}
+
+        void lfrc_visit_children(typename Domain::child_visitor& v) noexcept override {
+            v.on_child(next.exclusive_get());
+            v.on_child(val.exclusive_get());
+        }
+    };
+
+    using bucket_t = containers::lfrc_list_core<Domain, entry_t>;
+
+    struct shard_stats_t {
+        std::atomic<std::uint64_t> gets{0};
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> puts{0};
+        std::atomic<std::uint64_t> erases{0};
+        std::atomic<std::uint64_t> cas_ok{0};
+        std::atomic<std::uint64_t> cas_fail{0};
+        std::atomic<std::uint64_t> expired{0};
+    };
+
+    struct shard_t {
+        std::vector<std::unique_ptr<bucket_t>> buckets;
+        util::padded<shard_stats_t> stats;
+    };
+
+    static bool expired(const box_t* box, std::uint64_t now_ns) noexcept {
+        return box->expires_at_ns != 0 && box->expires_at_ns <= now_ns;
+    }
+
+    static std::uint64_t deadline(std::uint64_t ttl_ns, std::uint64_t now_ns) noexcept {
+        return ttl_ns == 0 ? 0 : now_ns + ttl_ns;
+    }
+
+    /// Clear an expired value through a version-tied store_conditional.
+    /// Takes a *counted* entry (writing an object's cells requires one —
+    /// docs/ALGORITHMS.md §8); a null entry (promote lost to a concurrent
+    /// erase) is a no-op. Returns true when this call did the clearing.
+    bool lazy_expire(shard_t& sh, typename Domain::template local_ptr<entry_t> entry,
+                     std::uint64_t now_ns) {
+        if (!entry) return false;
+        typename Domain::template local_ptr<box_t> cur;
+        const auto token = Domain::load_linked(entry->val, cur);
+        if (!cur || !expired(cur.get(), now_ns)) return false;  // racer already acted
+        if (!Domain::store_conditional_if_flag(entry->val, token, cur.get(),
+                                               static_cast<box_t*>(nullptr),
+                                               entry->dead, /*flag_required=*/false)) {
+            return false;  // racing put/erase acted first; nothing to clear
+        }
+        sh.stats->expired.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    shard_t& shard_for(const Key& key) {
+        return *shards_[util::mix64(hasher_(key)) & shard_mask_];
+    }
+
+    bucket_t& bucket_for(shard_t& sh, const Key& key) {
+        const std::uint64_t h = util::mix64(hasher_(key));
+        // Shard index consumes the low bits; buckets key off the high ones.
+        return *sh.buckets[(h >> 32) % sh.buckets.size()];
+    }
+
+    Hash hasher_;
+    std::size_t shard_mask_ = 0;
+    std::vector<std::unique_ptr<shard_t>> shards_;
+};
+
+}  // namespace lfrc::store

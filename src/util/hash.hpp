@@ -1,0 +1,25 @@
+// Shared 64-bit hash finalization.
+//
+// Several layers fan keys out over power-of-two tables (lfrc_hash_set
+// buckets, store shards and buckets, workload key scrambling) and all need
+// the same property: sequential integer keys must spread over every index
+// bit. This is the splitmix64/murmur3 finalizer — full-avalanche, cheap,
+// and already the constant set used by util::splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace lfrc::util {
+
+/// Full-avalanche mix of a 64-bit value (murmur3 fmix64). Bijective, so it
+/// also serves as a key scrambler: distinct inputs map to distinct outputs.
+inline std::uint64_t mix64(std::uint64_t h) noexcept {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+}  // namespace lfrc::util

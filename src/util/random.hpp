@@ -65,6 +65,63 @@ class xoshiro256 {
     std::array<std::uint64_t, 4> s_{};
 };
 
+/// Zipfian rank generator (Gray et al. "Quickly Generating Billion-Record
+/// Synthetic Databases", the YCSB algorithm): rank 0 is the hottest key and
+/// popularity decays as 1/rank^theta. theta <= 0 degrades to uniform.
+/// Construction is O(n) (harmonic sum); generation is O(1) — build one per
+/// workload and share it read-only across threads.
+///
+/// Ranks cluster at small values, so callers that want the hot set spread
+/// across shards/buckets should scramble the rank (util::mix64(rank) %% n)
+/// before using it as a key.
+class zipf_gen {
+  public:
+    explicit zipf_gen(std::uint64_t n, double theta = 0.99)
+        : n_(n > 0 ? n : 1), theta_(theta) {
+        if (theta_ <= 0.0) return;  // uniform mode: no tables needed
+        double zetan = 0.0;
+        for (std::uint64_t i = 1; i <= n_; ++i) {
+            zetan += 1.0 / power(static_cast<double>(i), theta_);
+        }
+        zetan_ = zetan;
+        const double zeta2 = 1.0 + 1.0 / power(2.0, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - power(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+    }
+
+    std::uint64_t size() const noexcept { return n_; }
+    double theta() const noexcept { return theta_; }
+
+    /// Next rank in [0, n). Hot ranks are the small ones.
+    std::uint64_t operator()(xoshiro256& rng) const noexcept {
+        if (theta_ <= 0.0) return rng.below(n_);
+        // Uniform double in [0, 1).
+        const double u =
+            static_cast<double>(rng() >> 11) * (1.0 / 9007199254740992.0);
+        const double uz = u * zetan_;
+        if (uz < 1.0) return 0;
+        if (uz < 1.0 + power(0.5, theta_)) return 1;
+        const double r = static_cast<double>(n_) *
+                         power(eta_ * u - eta_ + 1.0, alpha_);
+        std::uint64_t rank = static_cast<std::uint64_t>(r);
+        return rank >= n_ ? n_ - 1 : rank;
+    }
+
+  private:
+    // Local pow to keep this header <cmath>-free for the hot paths that
+    // include it; only construction uses the loop-heavy case.
+    static double power(double base, double exp) noexcept {
+        return __builtin_pow(base, exp);
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_ = 0.0;
+    double alpha_ = 0.0;
+    double eta_ = 0.0;
+};
+
 /// Process-wide base seed, read once: the LFRC_SEED environment variable
 /// (decimal or 0x-hex) when set, a fixed default otherwise. Every replayable
 /// generator in the repo (thread_rng, the sim harness's schedule seeds)

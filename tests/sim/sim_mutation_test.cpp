@@ -7,6 +7,7 @@
 // identical harness and budget.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -90,7 +91,14 @@ TEST(SimMutation, FailingSeedReplaysDeterministically) {
 TEST(SimMutation, CorrectLoadPassesTheSameHarness) {
     const auto res = run_load_race</*Mutated=*/false>(4242, k_budget);
     EXPECT_CLEAN(res);
-    EXPECT_EQ(res.schedules_run, k_budget);
+    // The clean run must exhaust the budget actually in force — the CI
+    // quick cell shrinks it via LFRC_SIM_SCHEDULES (sim::explore docs).
+    int expected = k_budget;
+    if (const char* cap = std::getenv("LFRC_SIM_SCHEDULES")) {
+        const long v = std::atol(cap);
+        if (v > 0 && v < expected) expected = static_cast<int>(v);
+    }
+    EXPECT_EQ(res.schedules_run, expected);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "containers/lfrc_hash_set.hpp"
 #include "lfrc_test_helpers.hpp"
 #include "reclaim/epoch.hpp"
 
@@ -203,6 +204,69 @@ TYPED_TEST(BorrowTest, BorrowersRacingDestroyNeverSeeFreedMemory) {
     EXPECT_EQ(drain_epochs(), 0u);
     EXPECT_EQ(node::live().load(), live_before)
         << "borrow pins must not leak objects past the race";
+}
+
+// Snapshot semantics of the hash set's borrowed read path against a
+// concurrent erase in the SAME bucket. A single-bucket set forces every key
+// through one list, so the borrowed walk in contains() stands on exactly the
+// nodes the eraser is unlinking. Two guarantees under test:
+//
+//  * a key that is present for the whole operation is always found — an
+//    erase of a NEIGHBOUR must never cut the walker off (dead nodes keep a
+//    frozen forward pointer, lazy-list style), and
+//  * contains() of the churned key itself never crashes, never reads freed
+//    storage (ASan/TSan would flag it), and only ever returns a value that
+//    was true at some instant of the call (here: anything, since the key
+//    toggles — the invariant is memory-safety plus the stable key's truth).
+TYPED_TEST(BorrowTest, HashSetBorrowedContainsRacingSameBucketErase) {
+    using D = TypeParam;
+    constexpr int stable_low = 10;    // walked over before the churn keys
+    constexpr int churn_a = 50;       // between the stable keys in sort order
+    constexpr int stable_high = 100;  // proves the walk survives past churn_a
+    constexpr int churn_b = 150;      // churn after the last stable key
+
+    containers::lfrc_hash_set<D, int> set(/*bucket_count=*/1);
+    ASSERT_TRUE(set.insert(stable_low));
+    ASSERT_TRUE(set.insert(stable_high));
+
+    constexpr int reader_count = 2;
+    std::atomic<int> running{reader_count};
+    std::atomic<std::uint64_t> lost_stable{0};
+
+    std::vector<std::thread> readers;
+    for (int t = 0; t < reader_count; ++t) {
+        readers.emplace_back([&] {
+            for (int i = 0; i < 4000; ++i) {
+                // The stable keys never leave the set: a miss would mean the
+                // borrowed walk was cut off by a concurrent unlink.
+                if (!set.contains(stable_low)) lost_stable.fetch_add(1);
+                if (!set.contains(stable_high)) lost_stable.fetch_add(1);
+                // The churned keys may be present or absent; the read must
+                // simply be safe in either phase.
+                (void)set.contains(churn_a);
+                (void)set.contains(churn_b);
+            }
+            running.fetch_sub(1);
+        });
+    }
+
+    // Eraser: toggle both churn keys until every reader finished its quota,
+    // so inserts and erases overlap every phase of the borrowed walks.
+    while (running.load(std::memory_order_relaxed) != 0) {
+        set.insert(churn_a);
+        set.insert(churn_b);
+        set.erase(churn_a);
+        set.erase(churn_b);
+    }
+    for (auto& th : readers) th.join();
+
+    EXPECT_EQ(lost_stable.load(), 0u)
+        << "a concurrent same-bucket erase made a live key invisible";
+    EXPECT_TRUE(set.contains(stable_low));
+    EXPECT_TRUE(set.contains(stable_high));
+    EXPECT_FALSE(set.contains(churn_a));
+    EXPECT_FALSE(set.contains(churn_b));
+    EXPECT_EQ(set.size(), 2u);
 }
 
 }  // namespace

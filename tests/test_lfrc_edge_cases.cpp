@@ -200,4 +200,80 @@ TYPED_TEST(LfrcEdgeTest, DcasPtrFlagBookkeeping) {
     D::store(A, static_cast<node*>(nullptr));
 }
 
+// ---- flush_deferred_frees drain-loop bounds --------------------------------
+//
+// The flush loop is doubly bounded: `rounds` caps iterations, and a stall
+// detector exits once several consecutive rounds make no progress. These
+// tests pin down both behaviours — convergence when nothing is pinned, and
+// prompt bounded return (not a spin) when a pin blocks the drain.
+
+TYPED_TEST(LfrcEdgeTest, RepeatedFlushConvergesToZeroAndStaysThere) {
+    using D = TypeParam;
+    using node = typename TestFixture::node_t;
+    // Retire a batch: every store-null drops the last counted reference.
+    for (int i = 0; i < 64; ++i) {
+        typename D::template ptr_field<node> A;
+        D::store_alloc(A, D::template make<node>(i));
+        D::store(A, static_cast<node*>(nullptr));
+    }
+    const std::uint64_t first = flush_deferred_frees(64);
+    EXPECT_EQ(first, 0u) << "unpinned retirees must all drain";
+    // Convergence is stable: repeated flushes at any budget stay at zero
+    // (each is a handful of pending() reads, not a rounds-long spin).
+    for (int budget : {1, 4, 16, 1 << 20}) {
+        EXPECT_EQ(flush_deferred_frees(budget), 0u);
+    }
+}
+
+TYPED_TEST(LfrcEdgeTest, FlushIsBoundedWhileAPinBlocksTheDrain) {
+    using D = TypeParam;
+    using node = typename TestFixture::node_t;
+    const auto live_before = node::live().load();
+    typename D::template ptr_field<node> A;
+    D::store_alloc(A, D::template make<node>(7));
+    {
+        auto pin = D::load_borrowed(A);  // epoch pin: blocks physical frees
+        D::store(A, static_cast<node*>(nullptr));  // logical death, free deferred
+        // An absurd budget must still return promptly: the stall detector
+        // sees no progress past the grace period and gives up instead of
+        // walking the pending list ~10^9 times.
+        const std::uint64_t residual = flush_deferred_frees(1 << 30);
+        EXPECT_GT(residual, 0u) << "flush must report what the pin blocked";
+        EXPECT_EQ(node::live().load(), live_before + 1);
+        // Successive stalled flushes are stable, not decreasing.
+        EXPECT_EQ(flush_deferred_frees(1 << 30), residual);
+    }
+    // Pin released: the same loop now converges to zero.
+    EXPECT_EQ(flush_deferred_frees(64), 0u);
+    EXPECT_EQ(node::live().load(), live_before);
+}
+
+TYPED_TEST(LfrcEdgeTest, FlushDrainsOnlyAfterTheLastPinReleases) {
+    using D = TypeParam;
+    using node = typename TestFixture::node_t;
+    // Overlapping pins from the same epoch neighbourhood: releasing one pin
+    // must not unblock the drain (the other still holds the epoch back);
+    // releasing the last one must let repeated flushes reach zero. Residuals
+    // are monotone non-decreasing while any pin is held.
+    typename D::template ptr_field<node> A;
+    typename D::template ptr_field<node> B;
+    D::store_alloc(A, D::template make<node>(1));
+    D::store_alloc(B, D::template make<node>(2));
+    auto pin_a = D::load_borrowed(A);
+    D::store(A, static_cast<node*>(nullptr));
+    const std::uint64_t with_one_pin = flush_deferred_frees(64);
+    EXPECT_GT(with_one_pin, 0u);
+    auto pin_b = D::load_borrowed(B);
+    D::store(B, static_cast<node*>(nullptr));
+    const std::uint64_t with_two_pins = flush_deferred_frees(64);
+    EXPECT_GE(with_two_pins, with_one_pin);
+    pin_a.reset();
+    const std::uint64_t after_partial_release = flush_deferred_frees(64);
+    EXPECT_GT(after_partial_release, 0u)
+        << "a remaining pin must keep blocking the drain";
+    pin_b.reset();
+    EXPECT_EQ(flush_deferred_frees(64), 0u)
+        << "full release must let the flush converge";
+}
+
 }  // namespace

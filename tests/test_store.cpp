@@ -1,0 +1,291 @@
+// lfrc::store::kv_store — sequential semantics, TTL expiry, version-cas
+// conflict rules, graceful drain, and a concurrent churn test; plus the
+// plain_store baseline's contract (DESIGN.md §9).
+//
+// Time never comes from a clock here: every expiry test passes explicit
+// now_ns values, which is the store's own contract (sim determinism).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "containers/reclaimer_policies.hpp"
+#include "lfrc/lfrc.hpp"
+#include "store/plain_store.hpp"
+#include "store/store.hpp"
+#include "store/workload.hpp"
+
+namespace {
+
+using namespace lfrc;
+
+template <typename D>
+class StoreTest : public ::testing::Test {
+  protected:
+    using store_t = store::kv_store<D, std::uint64_t, std::string>;
+
+    void TearDown() override {
+        EXPECT_EQ(flush_deferred_frees(64), 0u)
+            << "a store test leaked an epoch pin or a counted reference";
+    }
+};
+
+using Domains = ::testing::Types<domain, locked_domain>;
+TYPED_TEST_SUITE(StoreTest, Domains);
+
+TYPED_TEST(StoreTest, GetOfAbsentKeyMisses) {
+    typename TestFixture::store_t s;
+    EXPECT_FALSE(s.get(1).has_value());
+    EXPECT_FALSE(s.get_counted(1).has_value());
+    EXPECT_FALSE(s.erase(1));
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, PutGetOverwriteErase) {
+    typename TestFixture::store_t s;
+    s.put(7, "seven");
+    EXPECT_EQ(s.get(7).value_or(""), "seven");
+    EXPECT_EQ(s.get_counted(7).value_or(""), "seven");
+    s.put(7, "SEVEN");  // overwrite in place
+    EXPECT_EQ(s.get(7).value_or(""), "SEVEN");
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.erase(7));
+    EXPECT_FALSE(s.get(7).has_value());
+    EXPECT_FALSE(s.erase(7)) << "double erase must miss";
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, KeysSpreadAcrossShardsIndependently) {
+    typename TestFixture::store_t s(
+        typename TestFixture::store_t::config{4, 8});
+    EXPECT_EQ(s.shard_count(), 4u);
+    for (std::uint64_t k = 0; k < 200; ++k) s.put(k, std::to_string(k));
+    EXPECT_EQ(s.size(), 200u);
+    for (std::uint64_t k = 0; k < 200; ++k) {
+        ASSERT_EQ(s.get(k).value_or("?"), std::to_string(k)) << k;
+    }
+    for (std::uint64_t k = 0; k < 200; k += 2) EXPECT_TRUE(s.erase(k));
+    EXPECT_EQ(s.size(), 100u);
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, VersionsStartAtZeroAndAdvancePerWrite) {
+    typename TestFixture::store_t s;
+    auto v = s.get_versioned(1);
+    EXPECT_FALSE(v.found);
+    EXPECT_EQ(v.version, 0u) << "absent key reads as version 0";
+    s.put(1, "a");
+    const auto v1 = s.get_versioned(1);
+    ASSERT_TRUE(v1.found);
+    EXPECT_GT(v1.version, 0u);
+    s.put(1, "b");
+    const auto v2 = s.get_versioned(1);
+    EXPECT_GT(v2.version, v1.version) << "every put bumps the slot version";
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, CasSucceedsOnCurrentVersionOnly) {
+    typename TestFixture::store_t s;
+    // Create-if-absent: version 0 means "no value ever written".
+    EXPECT_TRUE(s.cas(1, 0, "first"));
+    EXPECT_EQ(s.get(1).value_or(""), "first");
+    EXPECT_FALSE(s.cas(1, 0, "dup")) << "create-if-absent must fail when present";
+
+    const auto v = s.get_versioned(1);
+    ASSERT_TRUE(v.found);
+    EXPECT_TRUE(s.cas(1, v.version, "second"));
+    EXPECT_EQ(s.get(1).value_or(""), "second");
+    EXPECT_FALSE(s.cas(1, v.version, "stale"))
+        << "a cas from a superseded version must fail";
+    EXPECT_EQ(s.get(1).value_or(""), "second");
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, CasConflictsInterleavedWithPutsAndErases) {
+    typename TestFixture::store_t s;
+    s.put(9, "v1");
+    const auto v1 = s.get_versioned(9);
+    s.put(9, "v2");  // moves the version past v1
+    EXPECT_FALSE(s.cas(9, v1.version, "lost-update"))
+        << "an intervening put must defeat the cas";
+    const auto v2 = s.get_versioned(9);
+    EXPECT_TRUE(s.erase(9));
+    EXPECT_FALSE(s.cas(9, v2.version, "resurrect"))
+        << "erase removed the entry: the version restarted at 0";
+    EXPECT_TRUE(s.cas(9, 0, "fresh")) << "reincarnation is create-if-absent";
+    EXPECT_EQ(s.get(9).value_or(""), "fresh");
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, TtlValueExpiresLazilyOnRead) {
+    typename TestFixture::store_t s;
+    s.put(3, "mortal", /*ttl_ns=*/100, /*now_ns=*/1000);  // expires at 1100
+    s.put(4, "immortal");                                 // ttl 0: never expires
+    EXPECT_EQ(s.get(3, 1099).value_or(""), "mortal") << "not yet expired";
+    EXPECT_FALSE(s.get(3, 1100).has_value()) << "deadline reached";
+    EXPECT_FALSE(s.get_counted(3, 2000).has_value());
+    EXPECT_EQ(s.get(4, ~std::uint64_t{0} - 1).value_or(""), "immortal");
+    EXPECT_EQ(s.stats().expired, 1u) << "exactly one lazy expiry fired";
+    // The expired value is gone, but the entry remains; a new put revives it.
+    s.put(3, "reborn", 0, 3000);
+    EXPECT_EQ(s.get(3, 4000).value_or(""), "reborn");
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, ExpiredValueDoesNotCountAsErased) {
+    typename TestFixture::store_t s;
+    s.put(5, "soon-dead", /*ttl_ns=*/10, /*now_ns=*/0);
+    EXPECT_FALSE(s.erase(5, /*now_ns=*/100))
+        << "erasing an entry whose value already expired removes nothing "
+           "user-visible";
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, SweepClearsOnlyExpiredValues) {
+    typename TestFixture::store_t s(
+        typename TestFixture::store_t::config{2, 4});
+    for (std::uint64_t k = 0; k < 20; ++k) {
+        // Even keys expire at 50+k, odd keys live forever.
+        s.put(k, "v", (k % 2 == 0) ? 50 + k : 0, /*now_ns=*/0);
+    }
+    EXPECT_EQ(s.size(/*now_ns=*/0), 20u);
+    const std::size_t cleared = s.sweep_expired(/*now_ns=*/1000);
+    EXPECT_EQ(cleared, 10u);
+    EXPECT_EQ(s.stats().expired, 10u);
+    EXPECT_EQ(s.size(1000), 10u);
+    for (std::uint64_t k = 0; k < 20; ++k) {
+        EXPECT_EQ(s.get(k, 1000).has_value(), k % 2 == 1) << k;
+    }
+    // Idempotent: a second sweep finds nothing left to clear.
+    EXPECT_EQ(s.sweep_expired(1000), 0u);
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+TYPED_TEST(StoreTest, StatsCountEveryOperationKind) {
+    typename TestFixture::store_t s;
+    s.put(1, "x");
+    (void)s.get(1);
+    (void)s.get(2);  // miss
+    const auto v = s.get_versioned(1);
+    EXPECT_TRUE(s.cas(1, v.version, "y"));
+    EXPECT_FALSE(s.cas(1, 12345, "n"));
+    EXPECT_TRUE(s.erase(1));
+    const auto st = s.stats();
+    EXPECT_EQ(st.puts, 1u);
+    EXPECT_EQ(st.gets, 3u);  // two gets + one get_versioned
+    EXPECT_EQ(st.hits, 2u);
+    EXPECT_EQ(st.cas_ok, 1u);
+    EXPECT_EQ(st.cas_fail, 1u);
+    EXPECT_EQ(st.erases, 1u);
+    EXPECT_DOUBLE_EQ(st.hit_rate(), 2.0 / 3.0);
+    EXPECT_EQ(s.drain(), 0u);
+}
+
+// Concurrent churn on a deliberately tiny store (2 shards × 2 buckets, 16
+// keys) so every op collides: gets on the borrowed path race puts, erases,
+// and version-cas on the same entries. 1-CPU shape: fixed work per thread,
+// no standalone churn thread. TearDown's flush check plus ASan/TSan turn
+// any protocol slip (lost update, UAF, leaked pin) into a failure.
+TYPED_TEST(StoreTest, ConcurrentGetPutEraseCasChurn) {
+    using churn_store = store::kv_store<TypeParam, std::uint64_t, std::uint64_t>;
+    churn_store s(typename churn_store::config{2, 2});
+    constexpr std::uint64_t keyspace = 16;
+    constexpr int thread_count = 4;
+    constexpr int iters = 3000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < thread_count; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < iters; ++i) {
+                const std::uint64_t k =
+                    (static_cast<std::uint64_t>(i) * 7 + static_cast<std::uint64_t>(t)) %
+                    keyspace;
+                switch ((i + t) % 4) {
+                    case 0:
+                        s.put(k, static_cast<std::uint64_t>(i));
+                        break;
+                    case 1: {
+                        const auto got = s.get(k);
+                        if (got) {
+                            ASSERT_LT(*got, static_cast<std::uint64_t>(iters))
+                                << "a get returned a value no put ever wrote";
+                        }
+                        break;
+                    }
+                    case 2: {
+                        const auto v = s.get_versioned(k);
+                        (void)s.cas(k, v.version, static_cast<std::uint64_t>(i));
+                        break;
+                    }
+                    default:
+                        (void)s.erase(k);
+                        break;
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(s.drain(), 0u) << "churn left unreclaimed garbage";
+}
+
+// ---- plain_store baseline ---------------------------------------------
+
+template <typename P>
+class PlainStoreTest : public ::testing::Test {};
+
+using Policies =
+    ::testing::Types<containers::ebr_policy, containers::hp_policy>;
+TYPED_TEST_SUITE(PlainStoreTest, Policies);
+
+TYPED_TEST(PlainStoreTest, SequentialContractMatchesKvStore) {
+    store::plain_store<std::uint64_t, std::string, TypeParam> s(16);
+    EXPECT_FALSE(s.get(1).has_value());
+    s.put(1, "one");
+    EXPECT_EQ(s.get(1).value_or(""), "one");
+    EXPECT_EQ(s.version_of(1), 1u);
+    s.put(1, "two");
+    EXPECT_EQ(s.version_of(1), 2u);
+    EXPECT_TRUE(s.cas(1, 2, "three"));
+    EXPECT_FALSE(s.cas(1, 2, "stale"));
+    EXPECT_EQ(s.get(1).value_or(""), "three");
+    EXPECT_TRUE(s.erase(1));
+    EXPECT_FALSE(s.get(1).has_value());
+    EXPECT_TRUE(s.cas(1, 0, "reborn")) << "create-if-absent after erase";
+    // TTL contract: expired values miss and don't count as erased.
+    s.put(2, "mortal", /*ttl_ns=*/100, /*now_ns=*/0);
+    EXPECT_TRUE(s.get(2, 99).has_value());
+    EXPECT_FALSE(s.get(2, 100).has_value());
+    EXPECT_FALSE(s.erase(2, 200));
+    EXPECT_EQ(s.size(200), 1u);  // only key 1 ("reborn") is live
+}
+
+// The workload driver itself, at a deterministic-ish smoke scale: it must
+// run every op kind, produce consistent totals, and leave the epoch domain
+// drainable (the clear_slot shutdown path).
+TEST(WorkloadDriver, RunsMixAndLeavesEpochDomainDrainable) {
+    using store_t = store::kv_store<domain, std::uint64_t, std::uint64_t>;
+    store_t s(store_t::config{4, 16});
+    store::kv_store_borrow_ops<domain> ops(s);
+    store::workload_config cfg;
+    cfg.threads = 3;
+    cfg.duration_seconds = 0.05;
+    cfg.keyspace = 128;
+    cfg.get_percent = 60;
+    cfg.erase_percent = 10;
+    cfg.cas_percent = 10;
+    const auto res = store::run_workload(ops, cfg);
+    EXPECT_GT(res.total_ops, 0u);
+    EXPECT_EQ(res.total_ops, res.gets + res.puts + res.erases + res.cas_tried);
+    EXPECT_GT(res.gets, 0u);
+    EXPECT_GT(res.puts, 0u);
+    EXPECT_GT(res.hits, 0u);
+    EXPECT_GE(res.seconds, cfg.duration_seconds);
+    EXPECT_EQ(s.drain(), 0u)
+        << "worker slots were cleared, so the drain must reach zero";
+}
+
+}  // namespace

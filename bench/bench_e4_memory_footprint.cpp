@@ -18,7 +18,6 @@
 
 #include "alloc/stats.hpp"
 #include "containers/reclaim_stack.hpp"
-#include "containers/reclaimer_policies.hpp"
 #include "containers/treiber_stack.hpp"
 #include "containers/valois_stack.hpp"
 #include "lfrc/lfrc.hpp"
@@ -60,7 +59,7 @@ int main(int argc, char** argv) {
 
     containers::treiber_stack<domain, std::int64_t> lfrc_stack;
     containers::valois_stack<std::int64_t> valois;
-    containers::reclaim_stack<std::int64_t, containers::leaky_policy> leaky;
+    containers::reclaim_stack<std::int64_t, smr::leaky<>> leaky;
 
     byte_meter lfrc_bytes, valois_bytes, leaky_bytes;
 

@@ -24,7 +24,6 @@
 #include "gc/heap.hpp"
 #include "containers/reclaim_queue.hpp"
 #include "containers/reclaim_stack.hpp"
-#include "containers/reclaimer_policies.hpp"
 #include "containers/treiber_stack.hpp"
 #include "lfrc/lfrc.hpp"
 #include "util/bench_support.hpp"
@@ -146,15 +145,15 @@ int main(int argc, char** argv) {
                  threads, duration)),
              util::table::fmt(
                  stack_throughput<containers::reclaim_stack<std::int64_t,
-                                                            containers::ebr_policy>>(
+                                                            smr::ebr<>>>(
                      threads, duration)),
              util::table::fmt(
                  stack_throughput<containers::reclaim_stack<std::int64_t,
-                                                            containers::hp_policy>>(
+                                                            smr::hp<>>>(
                      threads, duration)),
              util::table::fmt(
                  stack_throughput<containers::reclaim_stack<std::int64_t,
-                                                            containers::leaky_policy>>(
+                                                            smr::leaky<>>>(
                      threads, duration)),
              util::table::fmt(gc_stack_throughput(threads, duration))});
         flush_deferred_frees();
@@ -170,15 +169,15 @@ int main(int argc, char** argv) {
                  threads, duration)),
              util::table::fmt(
                  queue_throughput<containers::reclaim_queue<std::int64_t,
-                                                            containers::ebr_policy>>(
+                                                            smr::ebr<>>>(
                      threads, duration)),
              util::table::fmt(
                  queue_throughput<containers::reclaim_queue<std::int64_t,
-                                                            containers::hp_policy>>(
+                                                            smr::hp<>>>(
                      threads, duration)),
              util::table::fmt(
                  queue_throughput<containers::reclaim_queue<std::int64_t,
-                                                            containers::leaky_policy>>(
+                                                            smr::leaky<>>>(
                      threads, duration)),
              util::table::fmt(gc_queue_throughput(threads, duration))});
         flush_deferred_frees();

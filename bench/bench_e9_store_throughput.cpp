@@ -1,25 +1,32 @@
 // Experiment E9 — end-to-end KV-store throughput by reclaimer policy
-// (DESIGN.md §9 / EXPERIMENTS.md E9).
+// (DESIGN.md §9/§10 / EXPERIMENTS.md E9).
 //
 // E6 measured the cost of counted loads on one hot pointer in isolation;
 // E9 asks the question the paper's §6 comparison actually turns on: what
 // does the reclamation discipline cost *in a serving workload*, where
 // lookups walk hash buckets, writes churn value objects, and the hot set
-// is zipf-skewed? Five configurations run the same closed-loop 80/20
-// get/put mix (YCSB zipf(0.99) keys) through src/store/workload.hpp:
+// is zipf-skewed? Since the smr unification, every cell runs the SAME
+// store body (store::kv_store over a generic list core) — the only
+// variable is the smr policy threaded through its template parameter:
 //
-//   lfrc-counted  kv_store, every lookup through LFRCLoad/load_linked —
-//                 the paper's Figure-2 discipline end to end;
-//   lfrc-borrow   kv_store, epoch-borrowed read fast path — LFRC
-//                 ownership with protection-priced reads;
-//   ebr           plain_store + epoch-based reclamation (what "the GC
-//                 will handle it" costs when the GC is an epoch scheme);
-//   hp            plain_store + hazard pointers (Michael 2002);
-//   leaky         plain_store, never frees — the unsafe ceiling.
+//   lfrc-counted  every lookup through LFRCLoad/load_linked — the
+//                 paper's Figure-2 discipline end to end;
+//   lfrc-borrow   epoch-borrowed read fast path — LFRC ownership with
+//                 protection-priced reads;
+//   ebr           epoch-based retire-on-unlink (what "the GC will
+//                 handle it" costs when the GC is an epoch scheme);
+//   hp            hazard pointers (Michael 2002);
+//   leaky         never frees — the unsafe ceiling.
+//
+// (smr::gc_heap is excluded: the store's versioned value slots need the
+// policy's vslot protocol, which a stop-the-world GC has no use for.)
 //
 // Expected shape: leaky >= ebr ~ lfrc-borrow > hp > lfrc-counted, with
 // the borrow-vs-counted gap growing with threads (count DCASes serialize
 // on hot keys' value cells; zipf makes some keys hot by construction).
+// `retired` is the policy's retire-queue depth sampled after the timed
+// run and before drain — it shows how much garbage each discipline lets
+// accumulate under load (leaky's figure is its leak).
 //
 //   --duration=0.4 --threads=1,4,8 --keyspace=16384 --get_percent=80
 //   --theta=0.99 [--json=BENCH_e9.json]
@@ -27,8 +34,8 @@
 #include <string>
 #include <vector>
 
-#include "containers/reclaimer_policies.hpp"
 #include "lfrc/lfrc.hpp"
+#include "smr/smr.hpp"
 #include "store/store.hpp"
 #include "store/workload.hpp"
 #include "util/cli.hpp"
@@ -62,7 +69,8 @@ struct run_row {
     int threads = 0;
     double mops = 0.0;
     double hit_rate = 0.0;
-    std::uint64_t residual = 0;  ///< deferred frees left after drain (LFRC only)
+    std::uint64_t retired = 0;   ///< retire-queue depth after run, before drain
+    std::uint64_t residual = 0;  ///< items still pending after bounded drain
 };
 
 store::workload_config base_config(const util::cli_flags& flags, int threads) {
@@ -76,8 +84,13 @@ store::workload_config base_config(const util::cli_flags& flags, int threads) {
     return cfg;
 }
 
-template <typename Ops, typename Store>
-run_row run_one(Store& s, const store::workload_config& cfg) {
+/// One cell: build the store for this policy, run the workload, sample the
+/// retire-queue depth, then drain. Ops picks the read discipline (counted
+/// vs borrowed vs the policy's own guard).
+template <typename Ops, typename PolicyOrDomain>
+run_row run_store(const store::workload_config& cfg) {
+    using store_t = store::kv_store<PolicyOrDomain, std::uint64_t, std::uint64_t>;
+    store_t s(typename store_t::config{8, 64});
     Ops ops(s);
     const auto res = store::run_workload(ops, cfg);
     run_row row;
@@ -85,23 +98,22 @@ run_row run_one(Store& s, const store::workload_config& cfg) {
     row.threads = cfg.threads;
     row.mops = res.mops();
     row.hit_rate = res.hit_rate();
-    return row;
-}
-
-run_row run_lfrc(bool borrow, const store::workload_config& cfg) {
-    using store_t = store::kv_store<domain, std::uint64_t, std::uint64_t>;
-    store_t s(store_t::config{8, 64});
-    run_row row = borrow ? run_one<store::kv_store_borrow_ops<domain>>(s, cfg)
-                         : run_one<store::kv_store_counted_ops<domain>>(s, cfg);
+    row.retired = s.reclaimer_pending();
     row.residual = s.drain();
     return row;
 }
 
-template <typename Policy>
-run_row run_plain(const store::workload_config& cfg) {
-    store::plain_store<std::uint64_t, std::uint64_t, Policy> s(512);
-    return run_one<store::plain_store_ops<Policy>>(s, cfg);
-}
+// The policy matrix: one binary, one loop, one store body. Order is
+// cheapest-reclaimer-last so a leak in one cell can't inflate RSS for
+// the ones after it.
+using run_fn = run_row (*)(const store::workload_config&);
+constexpr run_fn kPolicyMatrix[] = {
+    &run_store<store::kv_store_counted_ops<domain>, domain>,
+    &run_store<store::kv_store_borrow_ops<domain>, domain>,
+    &run_store<store::kv_store_policy_ops<smr::ebr<>>, smr::ebr<>>,
+    &run_store<store::kv_store_policy_ops<smr::hp<>>, smr::hp<>>,
+    &run_store<store::kv_store_policy_ops<smr::leaky<>>, smr::leaky<>>,
+};
 
 }  // namespace
 
@@ -118,29 +130,24 @@ int main(int argc, char** argv) {
                 flags.get_double("duration", 0.4));
 
     std::vector<run_row> rows;
-    util::table table({"threads", "policy", "Mops/s", "hit-rate", "residual"});
+    util::table table({"threads", "policy", "Mops/s", "hit-rate", "retired", "residual"});
     for (const int threads : thread_counts) {
         const auto cfg = base_config(flags, threads);
-        // Order is cheapest-reclaimer-last so a leak in one cell can't
-        // inflate RSS for the ones after it.
-        rows.push_back(run_lfrc(/*borrow=*/false, cfg));
-        rows.push_back(run_lfrc(/*borrow=*/true, cfg));
-        rows.push_back(run_plain<containers::ebr_policy>(cfg));
-        rows.push_back(run_plain<containers::hp_policy>(cfg));
-        rows.push_back(run_plain<containers::leaky_policy>(cfg));
-        for (std::size_t i = rows.size() - 5; i < rows.size(); ++i) {
-            const run_row& r = rows[i];
-            table.add_row({std::to_string(r.threads), r.policy,
-                           util::table::fmt(r.mops), util::table::fmt(r.hit_rate),
-                           std::to_string(r.residual)});
+        for (const run_fn run : kPolicyMatrix) {
+            const run_row row = run(cfg);
+            table.add_row({std::to_string(row.threads), row.policy,
+                           util::table::fmt(row.mops), util::table::fmt(row.hit_rate),
+                           std::to_string(row.retired), std::to_string(row.residual)});
+            rows.push_back(row);
         }
     }
     table.print();
 
     std::printf("\nshape check: lfrc-borrow should track ebr (both pay one epoch\n"
                 "pin per read) and pull away from lfrc-counted as threads grow;\n"
-                "leaky is the unsafe ceiling. residual=0 confirms every LFRC run\n"
-                "drained its deferred frees after the store's graceful shutdown.\n");
+                "leaky is the unsafe ceiling (its `retired` column is the leak).\n"
+                "residual=0 confirms every reclaiming run drained its deferred\n"
+                "frees after the store's graceful shutdown.\n");
 
     const std::string json_path = flags.get_string("json", "");
     if (!json_path.empty()) {
@@ -161,8 +168,9 @@ int main(int argc, char** argv) {
             const run_row& r = rows[i];
             std::fprintf(f,
                          "    {\"threads\": %d, \"policy\": \"%s\", \"mops\": %.3f, "
-                         "\"hit_rate\": %.3f, \"residual\": %llu}%s\n",
+                         "\"hit_rate\": %.3f, \"retired\": %llu, \"residual\": %llu}%s\n",
                          r.threads, r.policy.c_str(), r.mops, r.hit_rate,
+                         static_cast<unsigned long long>(r.retired),
                          static_cast<unsigned long long>(r.residual),
                          i + 1 < rows.size() ? "," : "");
         }

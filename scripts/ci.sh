@@ -35,6 +35,9 @@ for cell in "${cells[@]}"; do
     tsan)
       run_cell tsan cmake -B build-thread -G Ninja -DLFRC_SANITIZE=thread
       cmake --build build-thread
+      # Runs the full suite including test_smr_conformance — every smr
+      # policy's protocol races (counted DCAS, hazard announce/validate,
+      # epoch pins, GC safepoints) die here first.
       # The Valois comparator and its type-stable block pool read recycled
       # memory BY DESIGN — the exact hazard the paper's §2 discusses and
       # LFRC exists to avoid. TSan rightly reports those reads as races,
@@ -47,8 +50,10 @@ for cell in "${cells[@]}"; do
     asan)
       run_cell asan cmake -B build-address -G Ninja -DLFRC_SANITIZE=address
       cmake --build build-address
-      # The leaky_policy baseline never frees by design; suppress exactly
-      # those allocations so LSan still guards every LFRC path.
+      # Full suite including test_smr_conformance: UAF/double-free in any
+      # policy's reclamation path lands here. The smr::leaky baseline never
+      # frees by design; lsan.supp suppresses exactly those allocations so
+      # LSan still guards every other policy.
       LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
         ctest --test-dir build-address --output-on-failure
       ;;

@@ -1,13 +1,12 @@
 // GC-dependent Treiber stack and Michael-Scott queue over the toy
 // stop-the-world collector — the §3 "before" forms of the containers whose
-// LFRC "after" forms live in treiber_stack.hpp / ms_queue.hpp.
+// LFRC "after" forms live in treiber_stack.hpp / ms_queue.hpp. Both are the
+// generic cores instantiated with the smr::gc_heap policy; "assume a GC"
+// is now just a template argument.
 //
-// These are the implementations a designer writes when a garbage collector
-// may be assumed: plain pointers, no counts, no retire calls — popped nodes
-// simply become unreachable and the collector finds them. Note what the GC
-// buys: the classic Treiber ABA (pop's CAS succeeding on a recycled head)
-// cannot happen because a node referenced from any thread's shadow stack is
-// never collected, hence never recycled.
+// Note what the GC buys: the classic Treiber ABA (pop's CAS succeeding on a
+// recycled head) cannot happen because a node referenced from any thread's
+// shadow stack (a guard slot) is never collected, hence never recycled.
 //
 // Contract (same as snark_deque_gc): callers are attached to the heap, poll
 // safepoints via these operations' retry loops, and all shared cells hold
@@ -16,147 +15,22 @@
 // collection on its heap (destroy heap and container together).
 #pragma once
 
-#include <atomic>
-#include <optional>
-#include <utility>
-
-#include "gc/heap.hpp"
+#include "containers/queue_core.hpp"
+#include "containers/stack_core.hpp"
+#include "smr/gc_heap.hpp"
 
 namespace lfrc::containers {
 
 template <typename V>
-class gc_stack {
+class gc_stack : public stack_core<V, smr::gc_heap> {
   public:
-    struct node {
-        std::atomic<node*> next{nullptr};
-        V value{};
-
-        void gc_trace(gc::marker& m) const {
-            m.mark_ptr(next.load(std::memory_order_relaxed));
-        }
-    };
-
-    explicit gc_stack(gc::heap& h) : heap_(h) {
-        heap_.add_root([this](gc::marker& m) {
-            m.mark_ptr(head_.load(std::memory_order_relaxed));
-        });
-    }
-
-    gc_stack(const gc_stack&) = delete;
-    gc_stack& operator=(const gc_stack&) = delete;
-
-    void push(V v) {
-        gc::local<node> nd(heap_, heap_.template allocate<node>());
-        nd->value = std::move(v);
-        node* h = head_.load(std::memory_order_acquire);
-        do {
-            heap_.safepoint();
-            nd->next.store(h, std::memory_order_relaxed);
-        } while (!head_.compare_exchange_weak(h, nd.get(), std::memory_order_acq_rel));
-    }
-
-    std::optional<V> pop() {
-        for (;;) {
-            heap_.safepoint();
-            gc::local<node> h(heap_, head_.load(std::memory_order_acquire));
-            if (!h) return std::nullopt;
-            node* next = h->next.load(std::memory_order_acquire);
-            node* expected = h.get();
-            if (head_.compare_exchange_strong(expected, next, std::memory_order_acq_rel)) {
-                return h->value;  // h simply becomes garbage
-            }
-        }
-    }
-
-    bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
-
-  private:
-    gc::heap& heap_;
-    std::atomic<node*> head_{nullptr};
+    explicit gc_stack(gc::heap& h) : stack_core<V, smr::gc_heap>(smr::gc_heap(h)) {}
 };
 
 template <typename V>
-class gc_queue {
+class gc_queue : public queue_core<V, smr::gc_heap> {
   public:
-    struct node {
-        std::atomic<node*> next{nullptr};
-        V value{};
-
-        void gc_trace(gc::marker& m) const {
-            m.mark_ptr(next.load(std::memory_order_relaxed));
-        }
-    };
-
-    explicit gc_queue(gc::heap& h) : heap_(h) {
-        gc::heap::attach_scope attach(heap_);
-        node* dummy = heap_.template allocate<node>();
-        head_.store(dummy);
-        tail_.store(dummy);
-        heap_.add_root([this](gc::marker& m) {
-            m.mark_ptr(head_.load(std::memory_order_relaxed));
-            m.mark_ptr(tail_.load(std::memory_order_relaxed));
-        });
-    }
-
-    gc_queue(const gc_queue&) = delete;
-    gc_queue& operator=(const gc_queue&) = delete;
-
-    void enqueue(V v) {
-        gc::local<node> nd(heap_, heap_.template allocate<node>());
-        nd->value = std::move(v);
-        gc::local<node> t(heap_);
-        for (;;) {
-            heap_.safepoint();
-            t = tail_.load(std::memory_order_acquire);
-            node* next = t->next.load(std::memory_order_acquire);
-            if (next == nullptr) {
-                if (t->next.compare_exchange_strong(next, nd.get(),
-                                                    std::memory_order_acq_rel)) {
-                    node* expected = t.get();
-                    tail_.compare_exchange_strong(expected, nd.get(),
-                                                  std::memory_order_acq_rel);
-                    return;
-                }
-            } else {
-                node* expected = t.get();
-                tail_.compare_exchange_strong(expected, next, std::memory_order_acq_rel);
-            }
-        }
-    }
-
-    std::optional<V> dequeue() {
-        gc::local<node> h(heap_);
-        gc::local<node> next(heap_);
-        for (;;) {
-            heap_.safepoint();
-            h = head_.load(std::memory_order_acquire);
-            node* t = tail_.load(std::memory_order_acquire);
-            next = h->next.load(std::memory_order_acquire);
-            if (!next) return std::nullopt;
-            if (h.get() == t) {
-                node* expected = t;
-                tail_.compare_exchange_strong(expected, next.get(),
-                                              std::memory_order_acq_rel);
-                continue;
-            }
-            V v = next->value;
-            node* expected = h.get();
-            if (head_.compare_exchange_strong(expected, next.get(),
-                                              std::memory_order_acq_rel)) {
-                return v;  // old dummy becomes garbage
-            }
-        }
-    }
-
-    bool empty() {
-        gc::local<node> h(heap_, head_.load(std::memory_order_acquire));
-        return h->next.load(std::memory_order_acquire) == nullptr;
-    }
-
-  private:
-    gc::heap& heap_;
-    std::atomic<node*> head_{nullptr};
-    std::atomic<node*> tail_{nullptr};
+    explicit gc_queue(gc::heap& h) : queue_core<V, smr::gc_heap>(smr::gc_heap(h)) {}
 };
 
 }  // namespace lfrc::containers

@@ -1,0 +1,78 @@
+// Generic hash set: fixed bucket array of list_core chains, over any
+// lfrc::smr policy. Replaces the old lfrc_hash_set body (which carried its
+// own bucket-walk copies of the list logic).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "containers/list_core.hpp"
+#include "smr/policy.hpp"
+#include "util/hash.hpp"
+
+namespace lfrc::containers {
+
+template <lfrc::smr::policy P, typename Key, typename Hash = std::hash<Key>>
+class hash_set_core {
+  public:
+    using node_type = set_node<P, Key>;
+    using bucket_type = list_core<P, node_type>;
+
+    explicit hash_set_core(std::size_t buckets, P policy = P{}, Hash hasher = Hash{})
+        : policy_(std::move(policy)), hasher_(std::move(hasher)) {
+        if (buckets == 0) buckets = 1;
+        buckets_.reserve(buckets);
+        for (std::size_t i = 0; i < buckets; ++i) {
+            // Each bucket shares this set's policy instance (policies are
+            // cheap handles over global/heap state).
+            buckets_.push_back(std::make_unique<bucket_type>(policy_));
+        }
+    }
+
+    hash_set_core(const hash_set_core&) = delete;
+    hash_set_core& operator=(const hash_set_core&) = delete;
+
+    bool insert(const Key& key) {
+        bucket_type& b = bucket_for(key);
+        typename P::guard g(policy_);
+        return b.insert(g, key);
+    }
+
+    bool erase(const Key& key) {
+        bucket_type& b = bucket_for(key);
+        typename P::guard g(policy_);
+        return b.erase(g, key);
+    }
+
+    bool contains(const Key& key) {
+        bucket_type& b = bucket_for(key);
+        typename P::guard g(policy_);
+        return b.contains(g, key);
+    }
+
+    std::size_t size() {
+        std::size_t n = 0;
+        for (auto& b : buckets_) {
+            typename P::guard g(policy_);
+            n += b->size(g);
+        }
+        return n;
+    }
+
+    std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+    P& policy() noexcept { return policy_; }
+
+  private:
+    bucket_type& bucket_for(const Key& key) {
+        return *buckets_[util::mixed_index(hasher_(key), buckets_.size())];
+    }
+
+    P policy_;
+    Hash hasher_;
+    std::vector<std::unique_ptr<bucket_type>> buckets_;
+};
+
+}  // namespace lfrc::containers

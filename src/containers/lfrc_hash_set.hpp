@@ -1,8 +1,9 @@
-// Fixed-capacity hash set over LFRC list buckets.
+// Fixed-capacity hash set over LFRC list buckets — hash_set_core
+// instantiated with the borrowed policy.
 //
-// A classic composition: hashing fans keys out over independent
-// lfrc_list_set buckets, so contention and traversal lengths shrink by the
-// bucket count while every bucket keeps the DCAS-deletion protocol and its
+// A classic composition: hashing fans keys out over independent list_core
+// buckets, so contention and traversal lengths shrink by the bucket count
+// while every bucket keeps the DCAS-deletion protocol and its
 // LFRC-compliance. Bucket count is fixed at construction (lock-free
 // resizing is its own research problem and out of the paper's scope —
 // documented limitation).
@@ -14,50 +15,17 @@
 
 #include <cstddef>
 #include <functional>
-#include <memory>
-#include <vector>
 
-#include "containers/lfrc_list.hpp"
-#include "util/hash.hpp"
+#include "containers/hash_set_core.hpp"
+#include "smr/counted.hpp"
 
 namespace lfrc::containers {
 
 template <typename Domain, typename Key, typename Hash = std::hash<Key>>
-class lfrc_hash_set {
+class lfrc_hash_set : public hash_set_core<smr::borrowed<Domain>, Key, Hash> {
   public:
-    explicit lfrc_hash_set(std::size_t bucket_count = 64) {
-        buckets_.reserve(bucket_count);
-        for (std::size_t i = 0; i < bucket_count; ++i) {
-            buckets_.push_back(std::make_unique<bucket_t>());
-        }
-    }
-
-    lfrc_hash_set(const lfrc_hash_set&) = delete;
-    lfrc_hash_set& operator=(const lfrc_hash_set&) = delete;
-
-    bool insert(const Key& key) { return bucket_for(key).insert(key); }
-    bool erase(const Key& key) { return bucket_for(key).erase(key); }
-    bool contains(const Key& key) { return bucket_for(key).contains(key); }
-
-    /// Exact only at quiescence.
-    std::size_t size() {
-        std::size_t n = 0;
-        for (auto& b : buckets_) n += b->size();
-        return n;
-    }
-
-    std::size_t bucket_count() const noexcept { return buckets_.size(); }
-
-  private:
-    using bucket_t = lfrc_list_set<Domain, Key>;
-
-    bucket_t& bucket_for(const Key& key) {
-        // Mix the hash so sequential integer keys still spread.
-        return *buckets_[util::mix64(hasher_(key)) % buckets_.size()];
-    }
-
-    Hash hasher_;
-    std::vector<std::unique_ptr<bucket_t>> buckets_;
+    explicit lfrc_hash_set(std::size_t bucket_count = 64)
+        : hash_set_core<smr::borrowed<Domain>, Key, Hash>(bucket_count) {}
 };
 
 }  // namespace lfrc::containers

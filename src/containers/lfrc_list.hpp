@@ -1,246 +1,40 @@
-// Sorted singly-linked LFRC list with DCAS-based deletion — the node-generic
-// core, plus the classic set built on it.
+// Sorted LFRC list set — list_core instantiated with the borrowed policy.
 //
 // Harris's classic lock-free list marks deleted nodes by stealing a bit of
 // the successor pointer — exactly the pointer arithmetic LFRC compliance
 // forbids (§2.1). With DCAS the mark can live in its own shared flag cell
-// and be changed atomically *with* the structural pointer, which is how this
-// list stays inside the allowed operation set:
+// and be changed atomically *with* the structural pointer; the protocol
+// (logical delete by flag CAS, insert/unlink by DCAS anchored on a live
+// predecessor) lives in containers/list_core.hpp, shared by every
+// reclamation policy.
 //
-//   logical delete : CAS the node's `dead` flag false -> true
-//                    (an unmarked node is always still reachable, so the
-//                    flag CAS is the linearization point of erase);
-//   insert         : DCAS(pred->next: curr -> node, pred->dead: stays false)
-//                    — anchoring on a live predecessor so an insert can
-//                    never land after an already-deleted node;
-//   physical unlink: DCAS(pred->next: curr -> curr->next, curr->dead: stays
-//                    true), performed as helping during traversal. Dead
-//                    nodes keep their forward pointer, so a stale unlink can
-//                    transiently re-expose a dead node but never cuts off
-//                    the tail; traversals skip dead nodes logically.
+// The borrowed policy gives the read paths (contains/size) the paper's
+// epoch-borrowed fast path: one epoch pin, zero refcount traffic, walking
+// straight through dead nodes lazy-list style (a dead node's forward
+// pointer is frozen, so the walk still reaches every node that was live for
+// the whole operation). Mutating paths run the counted helping search,
+// because unlink DCASes must anchor on counted references
+// (docs/ALGORITHMS.md §8).
 //
 // Cycle-free garbage: unlinked nodes point forward into the list (or to
 // other dead nodes), never backwards — chains, not cycles — so the §2.1
 // criterion holds and LFRC reclaims everything once traversals let go.
-//
-// `lfrc_list_core<Domain, Node>` is the protocol with a user-supplied node
-// type, so richer structures (the store's key→versioned-value entries) reuse
-// the exact same deletion machinery instead of re-deriving it. Node must
-// derive `Domain::object` and provide:
-//
-//   typename Domain::template ptr_field<Node> next;   // structural link
-//   typename Domain::flag_field dead;                 // logical-delete mark
-//   Key key;                                          // immutable after ctor
-//
-// and be default-constructible (the head sentinel). Extra payload fields are
-// the node author's business; their lfrc_visit_children must report `next`
-// (and any payload pointers).
-//
-// Read paths (contains/find_borrowed/size) use the epoch-borrowed fast path
-// (Domain::load_borrowed) and pay no refcount traffic; mutating paths keep
-// the counted search() with helping, because unlink DCASes must anchor on
-// counted references (docs/ALGORITHMS.md §8).
 #pragma once
 
-#include <cstdint>
-#include <optional>
+#include <cstddef>
 #include <utility>
 
-#include "lfrc/domain.hpp"
+#include "containers/list_core.hpp"
+#include "smr/counted.hpp"
 
 namespace lfrc::containers {
 
-template <typename Domain, typename Node>
-class lfrc_list_core {
-  public:
-    using local = typename Domain::template local_ptr<Node>;
-    using borrow = typename Domain::template borrow_ptr<Node>;
-
-    lfrc_list_core() {
-        // Head sentinel: key value irrelevant, never dead, never unlinked.
-        Domain::store_alloc(head_, Domain::template make<Node>());
-    }
-
-    ~lfrc_list_core() { Domain::store(head_, static_cast<Node*>(nullptr)); }
-
-    lfrc_list_core(const lfrc_list_core&) = delete;
-    lfrc_list_core& operator=(const lfrc_list_core&) = delete;
-
-    /// Find the live node with `key`, or insert a fresh one from `make_node`
-    /// (a callable returning a `local` whose key equals `key`). Returns the
-    /// counted node plus whether this call inserted it. The returned node
-    /// was live at its linearization point; it may be concurrently erased
-    /// afterwards — callers that write through it re-check `dead`.
-    template <typename Key, typename Factory>
-    std::pair<local, bool> get_or_insert(const Key& key, Factory&& make_node) {
-        for (;;) {
-            auto [pred, curr] = search(key);
-            if (curr && curr->key == key) return {std::move(curr), false};
-            local node = make_node();
-            Domain::store(node->next, curr.get());
-            if (Domain::dcas_ptr_flag(pred->next, pred->dead, curr.get(), false,
-                                      node.get(), false)) {
-                return {std::move(node), true};
-            }
-            // pred died or pred->next moved: re-search.
-        }
-    }
-
-    /// Removes the live node with `key`; false if absent.
-    template <typename Key>
-    bool erase(const Key& key) {
-        return erase_node(key, nullptr);
-    }
-
-    /// Removes the live node with `key` — but only the exact node `target`
-    /// when non-null. Lets callers that paired a read with the node's
-    /// identity erase precisely what they read (the store's erase), instead
-    /// of whatever reincarnation now carries the key.
-    template <typename Key>
-    bool erase_node(const Key& key, const Node* target) {
-        for (;;) {
-            auto [pred, curr] = search(key);
-            if (!curr || curr->key != key) return false;
-            if (target != nullptr && curr.get() != target) return false;
-            if (curr->dead.cas(false, true)) {
-                // Logically deleted by us; physical unlink is best-effort
-                // (traversals will help if this fails).
-                local succ = Domain::load_get(curr->next);
-                Domain::dcas_ptr_flag(pred->next, curr->dead, curr.get(), true,
-                                      succ.get(), true);
-                return true;
-            }
-            // Lost the race: either a concurrent erase (key now absent) or a
-            // stale view; re-search decides.
-        }
-    }
-
-    /// Physically unlinks any dead nodes around `key` by running the helping
-    /// search. For callers that mark a node dead through their own atomic
-    /// protocol (the store's claim-and-mark CASN) rather than erase_node,
-    /// and then want the unlink done eagerly instead of left to the next
-    /// traversal.
-    template <typename Key>
-    void help_unlink(const Key& key) {
-        (void)search(key);
-    }
-
-    /// Borrowed lookup: the live node with `key` (epoch-pinned, zero
-    /// refcount traffic) or a null borrow. Unlike search() this never helps
-    /// unlink dead nodes — it walks straight through them under a single
-    /// epoch pin, lazy-list style (Heller et al.): a dead node's forward
-    /// pointer is frozen at unlink time, so the walk still reaches every
-    /// node that was live for the whole operation, and the dead-flag check
-    /// at the end linearizes the miss/hit correctly.
-    template <typename Key>
-    borrow find_borrowed(const Key& key) {
-        auto curr = Domain::load_borrowed(head_);
-        curr = Domain::load_borrowed(curr->next);  // skip head sentinel
-        while (curr && curr->key < key) {
-            curr = Domain::load_borrowed(curr->next);
-        }
-        if (curr && curr->key == key && !curr->dead.load()) return curr;
-        return {};
-    }
-
-    /// Counted lookup via the helping search: the live node or null.
-    template <typename Key>
-    local find_counted(const Key& key) {
-        auto [pred, curr] = search(key);
-        if (curr && curr->key == key) return std::move(curr);
-        return {};
-    }
-
-    /// Membership test on the borrowed fast path.
-    template <typename Key>
-    bool contains(const Key& key) {
-        return static_cast<bool>(find_borrowed(key));
-    }
-
-    /// Element count; exact only at quiescence. Borrowed traversal.
-    std::size_t size() {
-        std::size_t n = 0;
-        auto curr = Domain::load_borrowed(head_);
-        curr = Domain::load_borrowed(curr->next);
-        while (curr) {
-            if (!curr->dead.load()) ++n;
-            curr = Domain::load_borrowed(curr->next);
-        }
-        return n;
-    }
-
-    /// Borrowed visit of every live node: f(const borrow&). The visited set
-    /// is a snapshot in the same sense as find_borrowed — nodes live for the
-    /// whole traversal are guaranteed visited. Callers that mutate through a
-    /// visited node must promote first.
-    template <typename F>
-    void for_each_borrowed(F&& f) {
-        auto curr = Domain::load_borrowed(head_);
-        curr = Domain::load_borrowed(curr->next);
-        while (curr) {
-            if (!curr->dead.load()) f(curr);
-            curr = Domain::load_borrowed(curr->next);
-        }
-    }
-
-    /// Drop every node at once by severing the sentinel's next pointer; the
-    /// whole chain unravels through lfrc_visit_children and drains via the
-    /// epoch domain. Shutdown/drain path: inserts racing a clear may land on
-    /// the severed chain and be lost — callers quiesce writers first.
-    void clear() {
-        local sentinel = Domain::load_get(head_);
-        Domain::store(sentinel->next, static_cast<Node*>(nullptr));
-    }
-
-  private:
-    /// Returns (pred, curr) with pred the last live node whose key < key
-    /// (or the head sentinel) and curr the first live node with key >= key
-    /// (or null). Helps unlink dead nodes along the way.
-    template <typename Key>
-    std::pair<local, local> search(const Key& key) {
-    restart:
-        local pred = Domain::load_get(head_);
-        local curr = Domain::load_get(pred->next);
-        for (;;) {
-            if (!curr) return {std::move(pred), std::move(curr)};
-            if (curr->dead.load()) {
-                // Help unlink curr from pred; a failure means pred moved or
-                // died — restart from the head.
-                local succ = Domain::load_get(curr->next);
-                if (!Domain::dcas_ptr_flag(pred->next, curr->dead, curr.get(), true,
-                                           succ.get(), true)) {
-                    goto restart;
-                }
-                curr = std::move(succ);
-                continue;
-            }
-            if (!(curr->key < key)) return {std::move(pred), std::move(curr)};
-            pred = curr;
-            Domain::load(pred->next, curr);
-        }
-    }
-
-    typename Domain::template ptr_field<Node> head_;
-};
-
-/// The classic sorted set: keys only, the thin adapter over the core.
+/// The classic sorted set: keys only, a thin adapter over list_core.
 template <typename Domain, typename Key>
 class lfrc_list_set {
   public:
-    struct lnode : Domain::object {
-        typename Domain::template ptr_field<lnode> next;
-        typename Domain::flag_field dead;
-        Key key{};
-
-        lnode() = default;
-        explicit lnode(Key k) : key(std::move(k)) {}
-
-        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
-            visitor.on_child(next.exclusive_get());
-        }
-    };
-
-    using local = typename Domain::template local_ptr<lnode>;
+    using policy_t = smr::borrowed<Domain>;
+    using node_t = set_node<policy_t, Key>;
 
     lfrc_list_set() = default;
     lfrc_list_set(const lfrc_list_set&) = delete;
@@ -248,22 +42,30 @@ class lfrc_list_set {
 
     /// Adds key; false if already present.
     bool insert(const Key& key) {
-        return core_
-            .get_or_insert(key, [&] { return Domain::template make<lnode>(key); })
-            .second;
+        typename policy_t::guard g(core_.policy());
+        return core_.insert(g, key);
     }
 
     /// Removes key; false if absent.
-    bool erase(const Key& key) { return core_.erase(key); }
+    bool erase(const Key& key) {
+        typename policy_t::guard g(core_.policy());
+        return core_.erase(g, key);
+    }
 
     /// Membership test on the borrowed fast path: zero refcount traffic.
-    bool contains(const Key& key) { return core_.contains(key); }
+    bool contains(const Key& key) {
+        typename policy_t::guard g(core_.policy());
+        return core_.contains(g, key);
+    }
 
     /// Element count; exact only at quiescence. Borrowed traversal.
-    std::size_t size() { return core_.size(); }
+    std::size_t size() {
+        typename policy_t::guard g(core_.policy());
+        return core_.size(g);
+    }
 
   private:
-    lfrc_list_core<Domain, lnode> core_;
+    list_core<policy_t, node_t> core_;
 };
 
 }  // namespace lfrc::containers

@@ -1,0 +1,273 @@
+// Generic sorted linked list (Harris-style logical delete + the paper's
+// DCAS unlink) over any lfrc::smr policy.
+//
+// This is the one traversal body behind lfrc_list_set, lfrc_hash_set and
+// the kv store's buckets. The shape:
+//
+//   * an immortal sentinel heads the chain (held by the registered head_
+//     link for the container's whole lifetime);
+//   * erase marks `dead` first (flag_cas false->true, the logical delete),
+//     then unlinks with dcas_link_flag anchored on the PREDECESSOR's dead
+//     flag staying false — so a node is unlinked (and retired) exactly
+//     once, and never from an already-unlinked predecessor;
+//   * a dead node's `next` is never written again, so lazy traversals can
+//     read through it on policies where that is memory-safe.
+//
+// Guard slot protocol (all three slots of one caller-owned guard):
+//   slot 0 = pred, slot 1 = curr, slot 2 = succ / fresh node.
+//
+// hp's frozen-pointer trap, handled here: with hazard pointers, a dead
+// node's frozen `next` revalidates forever, so a successor read from a dead
+// node may only be trusted once OUR unlink DCAS succeeds (success proves
+// the dead node was linked until that instant, and nothing past a linked
+// node can have been retired). On DCAS failure the successor is never
+// dereferenced — the walk restarts. Likewise a walk only advances past a
+// node after re-checking the predecessor is still live.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <utility>
+
+#include "smr/policy.hpp"
+
+namespace lfrc::containers {
+
+/// Node for set-like users of list_core (lfrc_list_set, hash_set_core).
+/// kv_store supplies its own entry type with the same field names.
+template <lfrc::smr::policy P, typename Key>
+struct set_node : P::template node_base<set_node<P, Key>> {
+    set_node() = default;
+    explicit set_node(Key k) : key(std::move(k)) {}
+
+    typename P::template link<set_node> next;
+    typename P::flag dead;
+    Key key{};
+
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <lfrc::smr::policy P, typename Node>
+class list_core {
+  public:
+    using node_type = Node;
+
+    struct position {
+        Node* pred;  // strongly protected in slot 0 (sentinel if null slot)
+        Node* curr;  // strongly protected in slot 1; nullptr = end of chain
+    };
+
+    list_core()
+        requires std::default_initializable<P>
+        : list_core(P{}) {}
+    explicit list_core(P policy) : policy_(std::move(policy)) {
+        typename P::thread_scope scope(policy_);  // ctor allocates (gc)
+        auto s = policy_.template make_owner<Node>();
+        sentinel_ = s.get();
+        policy_.init_link(head_, s.get());
+        policy_.publish_ok(s);
+        policy_.register_root(head_);
+    }
+
+    list_core(const list_core&) = delete;
+    list_core& operator=(const list_core&) = delete;
+
+    ~list_core() { policy_.reset_chain(head_); }
+
+    /// Strong search: find the first live node with !(key(curr) < key),
+    /// physically unlinking any dead node encountered. On return slot 0
+    /// protects pred (or is clear when pred is the sentinel) and slot 1
+    /// protects curr; both are live as of the last flag checks.
+    template <typename K>
+    position search(typename P::guard& g, const K& key) {
+    restart:
+        Node* pred = sentinel_;
+        g.clear(0);
+        Node* curr = g.protect(1, pred->next);
+        for (;;) {
+            g.step();
+            if (curr == nullptr) return {pred, nullptr};
+            if (policy_.flag_load(curr->dead)) {
+                // Help unlink. succ comes from a dead node's frozen next:
+                // only trusted after our own unlink DCAS succeeds.
+                Node* succ = g.protect(2, curr->next);
+                if (!policy_.dcas_link_flag(pred->next, pred->dead, curr, false, succ,
+                                            false)) {
+                    goto restart;
+                }
+                policy_.retire_unlinked(curr);
+                g.advance(1, 2);
+                curr = succ;
+                continue;
+            }
+            if (!(curr->key < key)) return {pred, curr};
+            g.advance(0, 1);
+            pred = curr;
+            curr = g.protect(1, pred->next);
+            // pred live here => it was linked when we read its next, so
+            // curr was reachable at that instant (the hp soundness step).
+            if (policy_.flag_load(pred->dead)) goto restart;
+        }
+    }
+
+    /// Read-only lookup. On lazy policies this walks straight through dead
+    /// nodes with traverse-grade slots (no helping, no restarts — the
+    /// paper's borrowed fast path); the result in slot 1 is traverse-grade
+    /// and callers that need a write license must g.upgrade(1). On hp the
+    /// strong search runs instead and the result is already strong.
+    template <typename K>
+    Node* find(typename P::guard& g, const K& key) {
+        if constexpr (P::has_lazy_traverse) {
+            g.step();
+            Node* curr = g.traverse(1, sentinel_->next);
+            while (curr != nullptr && curr->key < key) {
+                g.step();
+                Node* next = g.traverse(2, curr->next);
+                g.advance(1, 2);
+                curr = next;
+            }
+            if (curr == nullptr || !(curr->key == key) || policy_.flag_load(curr->dead)) {
+                return nullptr;
+            }
+            return curr;
+        } else {
+            position pos = search(g, key);
+            return (pos.curr != nullptr && pos.curr->key == key) ? pos.curr : nullptr;
+        }
+    }
+
+    /// Find-or-insert. `make` is called (at most once per retry that needs
+    /// it) to produce an owner for the new node; its key must equal `key`.
+    /// Returns {node, inserted}; the node is strongly protected (slot 1).
+    template <typename K, typename Make>
+    std::pair<Node*, bool> get_or_insert(typename P::guard& g, const K& key, Make&& make) {
+        for (;;) {
+            position pos = search(g, key);
+            if (pos.curr != nullptr && pos.curr->key == key) return {pos.curr, false};
+            auto nd = make();
+            policy_.init_link(nd->next, pos.curr);
+            g.protect_new(2, nd.get());  // announce BEFORE the publishing CAS
+            Node* raw = nd.get();
+            if (policy_.dcas_link_flag(pos.pred->next, pos.pred->dead, pos.curr, false,
+                                       raw, false)) {
+                policy_.publish_ok(nd);
+                g.advance(1, 2);
+                return {raw, true};
+            }
+            g.clear(2);  // owner frees the unpublished node
+        }
+    }
+
+    template <typename K>
+    bool insert(typename P::guard& g, const K& key) {
+        auto [node, inserted] =
+            get_or_insert(g, key, [&] { return policy_.template make_owner<Node>(key); });
+        (void)node;
+        return inserted;
+    }
+
+    /// Logical-then-physical erase. The flag_cas is the linearization
+    /// point; whoever wins it owns the (exactly-once) unlink+retire, though
+    /// any searcher may complete the physical step on our behalf.
+    template <typename K>
+    bool erase(typename P::guard& g, const K& key) {
+        position pos = search(g, key);
+        if (pos.curr == nullptr || !(pos.curr->key == key)) return false;
+        if (!policy_.flag_cas(pos.curr->dead, false, true)) return false;  // lost the race
+        Node* succ = g.protect(2, pos.curr->next);
+        if (policy_.dcas_link_flag(pos.pred->next, pos.pred->dead, pos.curr, false, succ,
+                                   false)) {
+            policy_.retire_unlinked(pos.curr);
+        } else {
+            g.clear(2);            // frozen-next successor: never dereferenced
+            (void)search(g, key);  // help whoever moved pred finish the unlink
+        }
+        return true;
+    }
+
+    /// Re-run the helping search so a node known to be dead gets unlinked.
+    template <typename K>
+    void help_unlink(typename P::guard& g, const K& key) {
+        (void)search(g, key);
+    }
+
+    template <typename K>
+    bool contains(typename P::guard& g, const K& key) {
+        return find(g, key) != nullptr;
+    }
+
+    /// Visit every live node. On strict policies (hp) the walk must restart
+    /// when it loses its footing; on_restart() fires so aggregating callers
+    /// (size) can reset their accumulator.
+    template <typename F, typename R>
+    void for_each(typename P::guard& g, F&& f, R&& on_restart) {
+        if constexpr (P::has_lazy_traverse) {
+            g.step();
+            Node* curr = g.traverse(1, sentinel_->next);
+            while (curr != nullptr) {
+                g.step();
+                if (!policy_.flag_load(curr->dead)) f(*curr);
+                Node* next = g.traverse(2, curr->next);
+                g.advance(1, 2);
+                curr = next;
+            }
+        } else {
+        restart:
+            Node* pred = sentinel_;
+            g.clear(0);
+            Node* curr = g.protect(1, pred->next);
+            for (;;) {
+                g.step();
+                if (curr == nullptr) return;
+                if (policy_.flag_load(curr->dead)) {
+                    Node* succ = g.protect(2, curr->next);
+                    if (!policy_.dcas_link_flag(pred->next, pred->dead, curr, false, succ,
+                                                false)) {
+                        on_restart();
+                        goto restart;
+                    }
+                    policy_.retire_unlinked(curr);
+                    g.advance(1, 2);
+                    curr = succ;
+                    continue;
+                }
+                f(*curr);
+                g.advance(0, 1);
+                pred = curr;
+                curr = g.protect(1, pred->next);
+                if (policy_.flag_load(pred->dead)) {
+                    on_restart();
+                    goto restart;
+                }
+            }
+        }
+    }
+    template <typename F>
+    void for_each(typename P::guard& g, F&& f) {
+        for_each(g, std::forward<F>(f), [] {});
+    }
+
+    std::size_t size(typename P::guard& g) {
+        std::size_t n = 0;
+        for_each(g, [&](Node&) { ++n; }, [&] { n = 0; });
+        return n;
+    }
+
+    /// Quiescent teardown of all nodes but the sentinel.
+    void clear() {
+        policy_.reset_chain(sentinel_->next);
+    }
+
+    P& policy() noexcept { return policy_; }
+    Node* sentinel() noexcept { return sentinel_; }
+
+  private:
+    P policy_;
+    typename P::template link<Node> head_;
+    Node* sentinel_ = nullptr;
+};
+
+}  // namespace lfrc::containers

@@ -2,8 +2,9 @@
 //
 // The original (PODC 1996) is GC-dependent in exactly the sense of the
 // paper: in a garbage-collected environment its tag-free form is correct
-// because nodes cannot be reused while referenced. The LFRC rewrite below
-// replaces every pointer access per Table 1 and nothing else.
+// because nodes cannot be reused while referenced. Here it is the generic
+// queue_core instantiated with the counted policy; the Table-1 pointer
+// operation replacements all live in smr::counted.
 //
 // Cycle-free garbage: a dequeued node's `next` keeps pointing forward (to a
 // newer node), so garbage forms forward chains, never cycles — a slow
@@ -12,92 +13,12 @@
 // naturally.
 #pragma once
 
-#include <optional>
-#include <utility>
-
-#include "lfrc/domain.hpp"
+#include "containers/queue_core.hpp"
+#include "smr/counted.hpp"
 
 namespace lfrc::containers {
 
 template <typename Domain, typename V>
-class ms_queue {
-  public:
-    struct node : Domain::object {
-        typename Domain::template ptr_field<node> next;
-        V value{};
-
-        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
-            visitor.on_child(next.exclusive_get());
-        }
-    };
-
-    using local = typename Domain::template local_ptr<node>;
-
-    ms_queue() {
-        // One dummy node; head == tail == dummy represents empty.
-        local dummy = Domain::template make<node>();
-        Domain::store(head_, dummy);
-        Domain::store(tail_, dummy);
-    }
-
-    ms_queue(const ms_queue&) = delete;
-    ms_queue& operator=(const ms_queue&) = delete;
-
-    /// Not concurrency-safe; call at quiescence.
-    ~ms_queue() {
-        Domain::store(head_, static_cast<node*>(nullptr));
-        Domain::store(tail_, static_cast<node*>(nullptr));
-    }
-
-    void enqueue(V v) {
-        local nd = Domain::template make<node>();
-        nd->value = std::move(v);
-        local t, next;
-        for (;;) {
-            Domain::load(tail_, t);
-            Domain::load(t->next, next);
-            if (!next) {
-                if (Domain::cas(t->next, static_cast<node*>(nullptr), nd.get())) {
-                    // Swing tail; failure means someone else already did.
-                    Domain::cas(tail_, t.get(), nd.get());
-                    return;
-                }
-            } else {
-                // Tail lagging: help it forward.
-                Domain::cas(tail_, t.get(), next.get());
-            }
-        }
-    }
-
-    std::optional<V> dequeue() {
-        local h, t, next;
-        for (;;) {
-            Domain::load(head_, h);
-            Domain::load(tail_, t);
-            Domain::load(h->next, next);
-            if (h == t) {
-                if (!next) return std::nullopt;  // empty
-                Domain::cas(tail_, t.get(), next.get());  // help lagging tail
-            } else {
-                // Read the value before the CAS (next stays alive through
-                // our counted reference either way).
-                V v = next->value;
-                if (Domain::cas(head_, h.get(), next.get())) {
-                    return v;
-                }
-            }
-        }
-    }
-
-    bool empty() {
-        local h = Domain::load_get(head_);
-        local next = Domain::load_get(h->next);
-        return !next;
-    }
-
-  private:
-    typename Domain::template ptr_field<node> head_;
-    typename Domain::template ptr_field<node> tail_;
-};
+using ms_queue = queue_core<V, smr::counted<Domain>>;
 
 }  // namespace lfrc::containers

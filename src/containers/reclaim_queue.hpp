@@ -1,88 +1,14 @@
-// Michael & Scott queue over plain atomics, parameterized by reclamation
-// policy (leaky / EBR / HP). Follows Michael's hazard-pointer treatment of
-// the algorithm (validate after protecting); with EBR/leaky the validations
-// are harmless re-reads. E5 benchmarks these against the LFRC version.
+// Michael & Scott queue under manual reclamation — queue_core instantiated
+// with an smr policy (smr::leaky / smr::ebr / smr::hp). Counterpart of
+// reclaim_stack.hpp; E5 benchmarks these against the counted-policy queue.
 #pragma once
 
-#include <atomic>
-#include <optional>
-#include <utility>
-
-#include "alloc/counted.hpp"
+#include "containers/queue_core.hpp"
+#include "smr/manual.hpp"
 
 namespace lfrc::containers {
 
-template <typename V, typename Policy>
-class reclaim_queue {
-  public:
-    struct node : alloc::counted_base {
-        std::atomic<node*> next{nullptr};
-        V value{};
-    };
-
-    reclaim_queue() { head_ = tail_ = new node; }  // dummy
-
-    reclaim_queue(const reclaim_queue&) = delete;
-    reclaim_queue& operator=(const reclaim_queue&) = delete;
-
-    /// Quiescent destructor.
-    ~reclaim_queue() {
-        node* h = head_.exchange(nullptr, std::memory_order_acquire);
-        while (h != nullptr) {
-            node* next = h->next.load(std::memory_order_relaxed);
-            delete h;
-            h = next;
-        }
-    }
-
-    void enqueue(V v) {
-        auto* nd = new node;
-        nd->value = std::move(v);
-        for (;;) {
-            typename Policy::guard g;
-            node* t = g.protect0(tail_);
-            node* next = t->next.load(std::memory_order_acquire);
-            if (t != tail_.load(std::memory_order_acquire)) continue;
-            if (next == nullptr) {
-                if (t->next.compare_exchange_strong(next, nd, std::memory_order_acq_rel)) {
-                    tail_.compare_exchange_strong(t, nd, std::memory_order_acq_rel);
-                    return;
-                }
-            } else {
-                tail_.compare_exchange_strong(t, next, std::memory_order_acq_rel);
-            }
-        }
-    }
-
-    std::optional<V> dequeue() {
-        for (;;) {
-            typename Policy::guard g;
-            node* h = g.protect0(head_);
-            node* t = tail_.load(std::memory_order_acquire);
-            node* next = g.protect1(h->next);
-            if (h != head_.load(std::memory_order_acquire)) continue;
-            if (next == nullptr) return std::nullopt;
-            if (h == t) {
-                tail_.compare_exchange_strong(t, next, std::memory_order_acq_rel);
-                continue;
-            }
-            V v = next->value;
-            if (head_.compare_exchange_strong(h, next, std::memory_order_acq_rel)) {
-                Policy::template retire<node>(h);
-                return v;
-            }
-        }
-    }
-
-    bool empty() const {
-        typename Policy::guard g;
-        node* h = g.protect0(head_);
-        return h->next.load(std::memory_order_acquire) == nullptr;
-    }
-
-  private:
-    std::atomic<node*> head_;
-    std::atomic<node*> tail_;
-};
+template <typename V, lfrc::smr::policy P>
+using reclaim_queue = queue_core<V, P>;
 
 }  // namespace lfrc::containers

@@ -1,68 +1,16 @@
-// Treiber stack over plain atomics, parameterized by reclamation policy
-// (leaky / EBR / HP — see reclaimer_policies.hpp). This is the
-// "GC-dependent" shape of the algorithm: no reference counts; correctness
-// of memory reuse is delegated entirely to the policy. E5 benchmarks these
-// against the LFRC version.
+// Treiber stack under manual reclamation — stack_core instantiated with an
+// smr policy (smr::leaky / smr::ebr / smr::hp). This is the "GC-dependent"
+// shape of the algorithm: no reference counts; correctness of memory reuse
+// is delegated entirely to the policy. E5 benchmarks these against the
+// LFRC (counted-policy) version.
 #pragma once
 
-#include <atomic>
-#include <optional>
-#include <utility>
-
-#include "alloc/counted.hpp"
+#include "containers/stack_core.hpp"
+#include "smr/manual.hpp"
 
 namespace lfrc::containers {
 
-template <typename V, typename Policy>
-class reclaim_stack {
-  public:
-    struct node : alloc::counted_base {
-        std::atomic<node*> next{nullptr};
-        V value{};
-    };
-
-    reclaim_stack() = default;
-    reclaim_stack(const reclaim_stack&) = delete;
-    reclaim_stack& operator=(const reclaim_stack&) = delete;
-
-    /// Quiescent destructor: frees whatever is still linked. Retired nodes
-    /// are owned by the policy's domain.
-    ~reclaim_stack() {
-        node* h = head_.exchange(nullptr, std::memory_order_acquire);
-        while (h != nullptr) {
-            node* next = h->next.load(std::memory_order_relaxed);
-            delete h;
-            h = next;
-        }
-    }
-
-    void push(V v) {
-        auto* nd = new node;
-        nd->value = std::move(v);
-        node* h = head_.load(std::memory_order_relaxed);
-        do {
-            nd->next.store(h, std::memory_order_relaxed);
-        } while (!head_.compare_exchange_weak(h, nd, std::memory_order_acq_rel));
-    }
-
-    std::optional<V> pop() {
-        for (;;) {
-            typename Policy::guard g;
-            node* h = g.protect0(head_);
-            if (h == nullptr) return std::nullopt;
-            node* next = h->next.load(std::memory_order_acquire);
-            if (head_.compare_exchange_strong(h, next, std::memory_order_acq_rel)) {
-                V v = std::move(h->value);
-                Policy::template retire<node>(h);
-                return v;
-            }
-        }
-    }
-
-    bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
-
-  private:
-    std::atomic<node*> head_{nullptr};
-};
+template <typename V, lfrc::smr::policy P>
+using reclaim_stack = stack_core<V, P>;
 
 }  // namespace lfrc::containers

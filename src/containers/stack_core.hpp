@@ -1,0 +1,86 @@
+// Generic Treiber stack over any lfrc::smr policy.
+//
+// One traversal/CAS body serves all six reclamation schemes; the policy
+// decides what "safe to dereference" and "safe to free" mean. This replaces
+// the former treiber_stack (counted domain) and reclaim_stack (ebr/hp/leaky)
+// families, which duplicated the same push/pop loops per scheme.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "smr/policy.hpp"
+
+namespace lfrc::containers {
+
+template <typename V, lfrc::smr::policy P>
+class stack_core {
+  public:
+    struct node : P::template node_base<node> {
+        node() = default;
+        explicit node(V v) : value(std::move(v)) {}
+
+        typename P::template link<node> next;
+        V value{};
+
+        // Child enumeration for tracing policies (counted unravel, gc mark).
+        template <typename F>
+        void smr_children(F&& f) {
+            f(next);
+        }
+    };
+
+    stack_core()
+        requires std::default_initializable<P>
+        : stack_core(P{}) {}
+    explicit stack_core(P policy) : policy_(std::move(policy)) {
+        policy_.register_root(head_);
+    }
+
+    stack_core(const stack_core&) = delete;
+    stack_core& operator=(const stack_core&) = delete;
+
+    ~stack_core() { policy_.reset_chain(head_); }
+
+    void push(V v) {
+        auto nd = policy_.template make_owner<node>(std::move(v));
+        typename P::guard g(policy_);
+        for (;;) {
+            g.step();
+            // Strong-protect the head: init_link on a counted policy adds a
+            // reference to the pointee, which must not be freed meanwhile.
+            node* h = g.protect(0, head_);
+            policy_.init_link(nd->next, h);
+            if (policy_.cas_link(head_, h, nd.get())) {
+                policy_.publish_ok(nd);
+                return;
+            }
+        }
+    }
+
+    std::optional<V> pop() {
+        typename P::guard g(policy_);
+        for (;;) {
+            g.step();
+            node* h = g.protect(0, head_);
+            if (h == nullptr) return std::nullopt;
+            node* next = g.protect(1, h->next);
+            if (policy_.cas_link(head_, h, next)) {
+                V out = std::move(h->value);
+                policy_.retire_unlinked(h);
+                return out;
+            }
+        }
+    }
+
+    bool empty() noexcept { return policy_.peek(head_) == nullptr; }
+
+    P& policy() noexcept { return policy_; }
+
+  private:
+    P policy_;
+    typename P::template link<node> head_;
+};
+
+}  // namespace lfrc::containers

@@ -3,9 +3,9 @@
 // The paper (§2.1) claims the methodology applies to "a wide range of
 // concurrent data structure implementations" beyond the Snark example; this
 // and ms_queue.hpp are two of the "other candidate implementations in the
-// pipeline". The GC-dependent original is the textbook Treiber stack; the
-// transformation below is a pure §3 step-5 rewrite (only CAS needed — no
-// DCAS outside LFRCLoad itself).
+// pipeline". The GC-dependent original is the textbook Treiber stack; here
+// it is the generic stack_core instantiated with the counted policy — the
+// §3 step-5 rewrite happens inside smr::counted, not in the container.
 //
 // Cycle-free garbage criterion: popped nodes form chains (a popped node may
 // still reference a live or popped successor until destroyed) but never
@@ -13,68 +13,12 @@
 // implementation" case of §2.1.
 #pragma once
 
-#include <optional>
-#include <utility>
-
-#include "lfrc/domain.hpp"
+#include "containers/stack_core.hpp"
+#include "smr/counted.hpp"
 
 namespace lfrc::containers {
 
 template <typename Domain, typename V>
-class treiber_stack {
-  public:
-    struct node : Domain::object {
-        typename Domain::template ptr_field<node> next;
-        V value{};
-
-        void lfrc_visit_children(typename Domain::child_visitor& visitor) noexcept override {
-            visitor.on_child(next.exclusive_get());
-        }
-    };
-
-    using local = typename Domain::template local_ptr<node>;
-
-    treiber_stack() = default;
-    treiber_stack(const treiber_stack&) = delete;
-    treiber_stack& operator=(const treiber_stack&) = delete;
-
-    /// Not concurrency-safe; call at quiescence (cf. Figure 1 lines 40..44).
-    ~treiber_stack() { Domain::store(head_, static_cast<node*>(nullptr)); }
-
-    void push(V v) {
-        local nd = Domain::template make<node>();
-        nd->value = std::move(v);
-        local h;
-        for (;;) {
-            Domain::load(head_, h);
-            Domain::store(nd->next, h);
-            if (Domain::cas(head_, h.get(), nd.get())) return;
-        }
-    }
-
-    std::optional<V> pop() {
-        local h, next;
-        for (;;) {
-            Domain::load(head_, h);
-            if (!h) return std::nullopt;
-            Domain::load(h->next, next);
-            // No ABA hazard: while we hold a counted reference to h it
-            // cannot be freed, and a node never re-enters the stack, so
-            // head_ == h implies h is still the same live top with its
-            // immutable `next` (§1's motivation for counting).
-            if (Domain::cas(head_, h.get(), next.get())) {
-                return h->value;
-            }
-        }
-    }
-
-    bool empty() {
-        local h = Domain::load_get(head_);
-        return !h;
-    }
-
-  private:
-    typename Domain::template ptr_field<node> head_;
-};
+using treiber_stack = stack_core<V, smr::counted<Domain>>;
 
 }  // namespace lfrc::containers

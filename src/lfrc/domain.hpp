@@ -366,6 +366,36 @@ class basic_domain {
         return out;
     }
 
+    /// Raw engine-mediated read of *A with NO protection of the result.
+    /// For identity comparison and CAS expected values only — never
+    /// dereference the returned pointer (the smr policy layer's `peek`).
+    template <typename T>
+    static T* peek(ptr_field<T>& A) {
+        return dcas::decode_ptr<T>(Engine::read(A.cell_));
+    }
+
+    /// Increment-if-nonzero upgrade of a raw pointer to a counted
+    /// local_ptr — borrow_ptr::promote without the borrow object. The
+    /// caller must hold an epoch pin taken BEFORE `p` was read from a
+    /// shared field (so the storage is still mapped); a count of zero is
+    /// absorbing, so a null return means the object is logically dead and
+    /// the field it was read from has changed (or will: its own reference
+    /// is being dropped). Used by smr::borrowed to build its strong path.
+    template <typename T>
+    static local_ptr<T> try_promote(T* p) {
+        if (p == nullptr) return {};
+        dcas::cell& rc = static_cast<object*>(p)->rc_;
+        for (;;) {
+            const std::uint64_t raw = Engine::read(rc);
+            const std::uint64_t count = dcas::decode_count(raw);
+            if (count == 0) return {};  // dead; zero is absorbing
+            if (Engine::cas(rc, raw, dcas::encode_count(count + 1))) {
+                counters().add_increments(1);
+                return local_ptr<T>::adopt(p);
+            }
+        }
+    }
+
     /// Create a managed object; its birth count of 1 is owned by the
     /// returned local_ptr.
     template <typename T, typename... Args>

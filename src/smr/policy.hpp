@@ -1,0 +1,230 @@
+// lfrc::smr — one seam for safe memory reclamation.
+//
+// The paper's claim is methodological: LFRC is a *drop-in* discipline that
+// turns GC-dependent lock-free structures into GC-independent ones. To make
+// that claim testable as code, every reclamation scheme in the repo is
+// expressed as an `smr::policy` — a small duck-typed interface a generic
+// container core (containers/{stack,queue,list}_core.hpp) is templated on.
+// The same traversal logic then runs, unmodified, over:
+//
+//   counted   the paper's Figure-2 counted operations (lfrc::basic_domain)
+//   borrowed  counted ownership + the epoch-borrowed read fast path
+//   ebr       epoch-based reclamation (retire-on-unlink, grace periods)
+//   hp        hazard pointers (Michael 2002 announce/validate)
+//   leaky     never free — the idealized "the GC will get it" fiction
+//   gc_heap   an actual GC: the toy stop-the-world mark-sweep heap
+//
+// This mirrors Meyer & Wolff's observation that reclamation factors out of
+// a lock-free structure behind a guard/retire interface, and Anderson/
+// Blelloch/Wei's that counted and manual SMR are interchangeable behind it.
+//
+// ---- The policy contract (duck-typed; `policy` below checks the core) ----
+//
+// Types:
+//   P::link<Node>   one-word pointer field linking Node objects. For the
+//                   counted policies this is Domain::ptr_field (the count
+//                   lives in the pointee); for manual/gc policies it is a
+//                   raw dcas::cell (cell_link below).
+//   P::flag         one-word boolean field DCAS-able alongside a link
+//                   (logical-deletion marks).
+//   P::vslot<T>     versioned pointer slot (pointer + version cell pair);
+//                   the LL/SC surface the kv store's value slots need.
+//   P::node_base<Node>  CRTP base every node type derives from. It adapts
+//                   the node's `smr_children(f)` enumeration (call f on
+//                   every link/vslot field holding children) to whatever
+//                   the scheme's tracing needs: lfrc_visit_children for
+//                   counted domains, gc_trace for the gc heap, nothing for
+//                   manual schemes.
+//   P::owner<Node>  RAII handle for a node between allocation and its
+//                   publishing CAS. make_owner allocates; publish_ok(o)
+//                   transfers ownership to the structure after the CAS
+//                   succeeds; an owner destroyed without publish_ok
+//                   releases the node by the scheme's rules.
+//   P::guard        RAII protection scope with `guard_slots` numbered
+//                   slots. Constructed from the policy instance; must not
+//                   be nested per thread for slot-limited schemes (hp).
+//   P::thread_scope RAII per-thread attachment (gc heap attach; no-op
+//                   elsewhere). Container ctors that allocate wrap
+//                   themselves in one; mutating ops require the CALLER to
+//                   hold one where the scheme needs it (gc).
+//
+// Guard operations (i, j are slot indices):
+//   protect(i, link) -> Node*   strong protection: the returned node is
+//                   safe to dereference and its link/flag fields safe to
+//                   CAS until the slot is overwritten/cleared. May only be
+//                   applied to fields of the container root or of nodes
+//                   protected *strongly* in another slot.
+//   traverse(i, link) -> Node*  lazy-grade protection: memory-safe to read
+//                   but, for `borrowed`, not counted (no write license).
+//                   Policies advertise `has_lazy_traverse`; when false
+//                   (hp), traverse degrades to protect and cores must not
+//                   walk through logically deleted nodes with it.
+//   upgrade(i) -> bool          promote a traverse-grade slot to strong
+//                   (single-shot try_promote for `borrowed`; trivially
+//                   true elsewhere). Failure means the node is being
+//                   destroyed — treat as a miss.
+//   protect_new(i, node)        protect a not-yet-published node (announce
+//                   BEFORE the publishing CAS so hp scans see it).
+//   advance(dst, src)           move a slot's protection (dst := src).
+//   clear(i) / step()           drop one slot / per-iteration safepoint
+//                   hook (gc parks for collections here).
+//   vprotect(i, vslot, &ver)    strong versioned read (load_linked / the
+//                   validate loop); vtraverse is its lazy twin.
+//
+// Policy operations (instance methods; engines and domains make most of
+// them static underneath):
+//   peek(link)                  raw read — identity checks and CAS
+//                   expected-values only, NEVER dereference the result.
+//   init_link(link, p)          exclusive-access store (ctor / unpublished
+//                   node), with counted bookkeeping where it applies.
+//   cas_link(link, o, n)        single-width CAS with count transfer.
+//   dcas_link_flag(l, f, ...)   the paper's DCAS on (link, flag) — the
+//                   insert/unlink primitive.
+//   flag_load / flag_cas        dead-flag access.
+//   vinstall_if_live(...)       CASN {ptr o->n, version v->v+1, flag
+//                   false->false}: install a value iff the entry is live.
+//   vclaim_mark_dead(...)       CASN {ptr o->null, version v->v+1, flag
+//                   false->true}: the erase claim.
+//   retire_unlinked(p)          hand an unlinked node to the reclaimer
+//                   (no-op for counted/leaky/gc — counts, nothing, or the
+//                   collector already own the problem).
+//   reset_chain(link)           quiescent teardown of a `next`-linked
+//                   chain rooted at `link`.
+//   register_root(link)         declare a container root cell (gc only).
+//   pending() / drain(rounds)   reclaimer backlog introspection and a
+//                   bounded flush; drain returns the residual backlog.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "dcas/cell.hpp"
+#include "gc/heap.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfrc::smr {
+
+/// Compile-time check of the core, non-templated part of the contract.
+/// The templated members (link ops, guard protect, …) are duck-typed —
+/// container cores are their real conformance check, and the
+/// policy-parameterized test suite instantiates all of them.
+template <typename P>
+concept policy = requires(P& p, typename P::guard& g, std::size_t i) {
+    { P::name() } -> std::convertible_to<const char*>;
+    { P::counted_links } -> std::convertible_to<bool>;
+    { P::has_lazy_traverse } -> std::convertible_to<bool>;
+    { P::guard_slots } -> std::convertible_to<std::size_t>;
+    requires std::constructible_from<typename P::guard, P&>;
+    typename P::thread_scope;
+    { g.step() };
+    { g.upgrade(i) } -> std::convertible_to<bool>;
+    { g.advance(i, i) };
+    { g.clear(i) };
+    { p.pending() } -> std::convertible_to<std::uint64_t>;
+    { p.drain(1) } -> std::convertible_to<std::uint64_t>;
+};
+
+// ---- Shared cell-backed field types (manual + gc policies) ----------------
+//
+// The counted policies get their fields from the domain (ptr_field,
+// flag_field, ll_field). Every other policy stores plain encoded values in
+// dcas::cells, so the fields are sim-instrumented for free and the same
+// engine CAS/DCAS/CASN machinery drives them.
+
+/// One-word pointer link. All concurrent access goes through the policy's
+/// engine; exclusive_get/exclusive_set are for single-owner phases only.
+template <typename Node>
+class cell_link {
+  public:
+    cell_link() noexcept = default;
+
+    Node* exclusive_get() const noexcept {
+        return dcas::decode_ptr<Node>(cell_.raw().load(std::memory_order_acquire));
+    }
+    void exclusive_set(Node* p) noexcept {
+        cell_.raw().store(dcas::encode_ptr(p), std::memory_order_release);
+    }
+
+    void gc_mark(gc::marker& m) const { m.mark_cell(cell_); }
+
+    dcas::cell& cell() noexcept { return cell_; }
+    const dcas::cell& cell() const noexcept { return cell_; }
+
+  private:
+    dcas::cell cell_{0};
+};
+
+/// One-word boolean flag, encoded like a count so engine descriptors can
+/// never be mistaken for a value. Never enumerated by smr_children (it
+/// holds no pointer), hence no gc_mark.
+template <typename Engine>
+class cell_flag {
+  public:
+    cell_flag() noexcept : cell_(dcas::encode_count(0)) {}
+
+    bool load() noexcept { return dcas::decode_count(Engine::read(cell_)) != 0; }
+    bool cas(bool expected, bool desired) noexcept {
+        return Engine::cas(cell_, encode(expected), encode(desired));
+    }
+
+    static std::uint64_t encode(bool b) noexcept { return dcas::encode_count(b ? 1 : 0); }
+
+    dcas::cell& cell() noexcept { return cell_; }
+
+  private:
+    dcas::cell cell_;
+};
+
+/// Versioned pointer slot: a (pointer, version) cell pair, the manual-SMR
+/// mirror of the domain's ll_field. Reads validate version/pointer/version;
+/// writes are engine CASNs that bump the version, so ABA on the pointer
+/// alone can never satisfy a conditional store.
+template <typename T>
+class cell_vslot {
+  public:
+    cell_vslot() noexcept : version_(dcas::encode_count(0)) {}
+
+    T* exclusive_get() const noexcept {
+        return dcas::decode_ptr<T>(ptr_.raw().load(std::memory_order_acquire));
+    }
+
+    void gc_mark(gc::marker& m) const { m.mark_cell(ptr_); }
+
+    dcas::cell& ptr_cell() noexcept { return ptr_; }
+    dcas::cell& version_cell() noexcept { return version_; }
+
+  private:
+    dcas::cell ptr_{0};
+    dcas::cell version_;
+};
+
+namespace detail {
+
+/// Bounded drive of the global epoch domain's deferred frees (the same
+/// stall-guarded loop as lfrc::flush_deferred_frees, reimplemented here so
+/// the manual policies need no dependency on the domain layer). Returns the
+/// residual pending count.
+inline std::uint64_t drain_epoch_domain(int rounds) {
+    auto& d = reclaim::epoch_domain::global();
+    std::uint64_t prev = ~std::uint64_t{0};
+    int stalled = 0;
+    for (int i = 0; i < rounds; ++i) {
+        const std::uint64_t p = d.pending();
+        if (p == 0) break;
+        if (p >= prev) {
+            if (++stalled > 4) break;  // > grace period with no progress
+        } else {
+            stalled = 0;
+        }
+        prev = p;
+        d.try_advance();
+        d.drain_all();
+    }
+    return d.pending();
+}
+
+}  // namespace detail
+
+}  // namespace lfrc::smr

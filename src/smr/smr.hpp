@@ -1,0 +1,7 @@
+// Umbrella header: the smr policy contract and all six implementations.
+#pragma once
+
+#include "smr/counted.hpp"
+#include "smr/gc_heap.hpp"
+#include "smr/manual.hpp"
+#include "smr/policy.hpp"

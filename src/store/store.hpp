@@ -1,5 +1,5 @@
-// lfrc::store — a sharded, GC-independent in-memory key-value store where
-// every value is an LFRC-counted object.
+// lfrc::store — a sharded, GC-independent in-memory key-value store,
+// generic over the reclamation policy.
 //
 // This is the layer that composes the repo's individual containers into a
 // serving workload: the shape concurrent-reference-counting systems are
@@ -7,52 +7,55 @@
 // comparisons). Everything below is built from existing seams — no new
 // synchronization primitives:
 //
+//   policy        the first template parameter is an lfrc::smr policy (or a
+//                 counted domain, which resolves to its borrowed policy for
+//                 backward compatibility). The SAME store body runs over
+//                 counted, borrowed, ebr, hp and leaky reclamation — the
+//                 policy axis E9 benchmarks. smr::gc_heap is excluded: its
+//                 guard offers no versioned value slots (the gc-vs-lfrc
+//                 comparison is E8's, at container granularity).
 //   sharding      N power-of-two shards, each a fixed array of
-//                 containers::lfrc_list_core buckets (the DCAS-deletion
-//                 list that backs lfrc_hash_set), so contention and chain
-//                 length shrink by shards × buckets.
-//   values        每 entry owns its current value through an
-//                 ll_field<value_box>: a (pointer, version) cell pair. The
+//                 containers::list_core buckets (the DCAS-deletion list
+//                 protocol), so contention and chain length shrink by
+//                 shards × buckets.
+//   values        each entry owns its current value through a P::vslot: a
+//                 (pointer, version) cell pair. For counted policies the
 //                 pointer half carries the LFRC count; the version half
 //                 makes every write observable, which is what get/cas key
 //                 off. Versions are per-entry value-slot versions: 0 means
 //                 "no value ever written here" (absent), and an entry
 //                 reincarnated after erase restarts at 0 — consistent,
 //                 because version 0 *means* absent.
-//   reads         get() walks the bucket on the epoch-borrowed fast path
-//                 (borrow_ptr end to end: entry and value box) — zero
-//                 refcount traffic per read. get_counted() is the same
-//                 lookup through counted LFRCLoads, kept as the workload
-//                 driver's "counted" reclaimer-policy axis.
-//   writes        put = load_linked + store_conditional_if_flag (version
-//                 bump, conditioned on the entry being live);
-//                 cas = the same with a version precondition — the LL/SC
-//                 extension's CASN on (pointer, version, dead-flag) is
-//                 exactly "compare-and-swap on the value version, iff the
-//                 entry still holds the key".
+//   reads         get() walks the bucket on the policy's lazy traverse
+//                 grade — for `borrowed` that is the epoch-borrowed fast
+//                 path, zero refcount traffic per read. get_counted() runs
+//                 the same lookup through the strong (helping) search.
+//   writes        put = vprotect + vinstall_if_live (version bump,
+//                 conditioned on the entry being live); cas = the same with
+//                 a version precondition — a CASN on (pointer, version,
+//                 dead-flag) is exactly "compare-and-swap on the value
+//                 version, iff the entry still holds the key".
 //   TTL           value boxes carry an absolute expiry deadline; reads
 //                 treat expired boxes as misses and lazily clear them with
-//                 a version-tied store_conditional (so an expiry sweep can
-//                 never clobber a racing fresh put). sweep() does the same
-//                 eagerly and pairs with flush_deferred_frees so the
-//                 memory actually shrinks.
-//   shutdown      drain() severs every bucket chain (the whole structure
-//                 unravels through lfrc_visit_children) and drives
-//                 flush_deferred_frees to its bounded completion.
+//                 a version-tied install (so an expiry sweep can never
+//                 clobber a racing fresh put). sweep_expired() does the
+//                 same eagerly and then drains the policy so the memory
+//                 actually shrinks.
+//   shutdown      drain() severs every bucket chain and drives the
+//                 policy's bounded drain to completion.
 //
 // Linearizability around entry removal: erase claims the entry's value AND
-// marks the entry dead in ONE atomic step (Domain::claim_and_set_flag, a
-// 3-word CASN over the value pointer, its version, and the dead flag), and
-// every value write (put/cas/expiry) is conditioned on the flag still being
-// false in the same step (Domain::store_conditional_if_flag). So a value
-// can never land in an entry a racing eraser has claimed: the write either
-// linearizes strictly before the erase (the eraser's snapshot saw it) or
-// fails and retries against the key's current entry. The earlier
-// write-then-recheck protocol left a window where a put's value was
-// transiently visible, then vanished with erase reporting false — a lost
-// update the sim harness (tests/sim/sim_store_test.cpp) caught; the CASN
-// closes it. A dead entry's frozen (null) value slot and chain link are
-// released by lfrc_visit_children, so nothing leaks either way.
+// marks the entry dead in ONE atomic step (P::vclaim_mark_dead, a 3-word
+// CASN over the value pointer, its version, and the dead flag), and every
+// value write (put/cas/expiry) is conditioned on the flag still being false
+// in the same step (P::vinstall_if_live). So a value can never land in an
+// entry a racing eraser has claimed: the write either linearizes strictly
+// before the erase (the eraser's snapshot saw it) or fails and retries
+// against the key's current entry. The earlier write-then-recheck protocol
+// left a window the sim harness (tests/sim/sim_store_test.cpp) caught; the
+// CASN closes it. A dead entry's frozen (null) value slot and chain link
+// are released by the policy's teardown/retire paths, so nothing leaks
+// either way.
 //
 // The store never reads a clock: expiry decisions take `now_ns` explicitly
 // (callers use util::stopwatch / steady_clock; tests and the sim harness
@@ -67,8 +70,9 @@
 #include <utility>
 #include <vector>
 
-#include "containers/lfrc_list.hpp"
+#include "containers/list_core.hpp"
 #include "lfrc/lfrc.hpp"
+#include "smr/smr.hpp"
 #include "util/cacheline.hpp"
 #include "util/hash.hpp"
 
@@ -89,9 +93,27 @@ struct store_stats {
     }
 };
 
-template <typename Domain, typename Key, typename Value, typename Hash = std::hash<Key>>
+/// kv_store's first parameter accepts either an smr policy or (for the
+/// pre-policy call sites) a counted domain, which maps to its borrowed
+/// policy — the configuration the store originally shipped with.
+template <typename T>
+struct policy_or_domain {
+    using type = T;
+};
+template <typename Engine>
+struct policy_or_domain<lfrc::basic_domain<Engine>> {
+    using type = smr::borrowed<lfrc::basic_domain<Engine>>;
+};
+template <typename T>
+using policy_or_domain_t = typename policy_or_domain<T>::type;
+
+template <typename PolicyOrDomain, typename Key, typename Value,
+          typename Hash = std::hash<Key>>
 class kv_store {
   public:
+    using policy_t = policy_or_domain_t<PolicyOrDomain>;
+    static_assert(lfrc::smr::policy<policy_t>);
+
     struct config {
         std::size_t shards = 8;             ///< rounded up to a power of two
         std::size_t buckets_per_shard = 64;
@@ -116,7 +138,7 @@ class kv_store {
             auto sh = std::make_unique<shard_t>();
             sh->buckets.reserve(buckets);
             for (std::size_t b = 0; b < buckets; ++b) {
-                sh->buckets.push_back(std::make_unique<bucket_t>());
+                sh->buckets.push_back(std::make_unique<bucket_t>(policy_));
             }
             shards_.push_back(std::move(sh));
         }
@@ -127,57 +149,62 @@ class kv_store {
 
     // ---- reads ---------------------------------------------------------
 
-    /// Borrowed fast-path read: one epoch pin, zero refcount traffic. An
-    /// expired value reads as a miss and is lazily cleared (version-tied,
-    /// so the clear can never race out a fresh put).
+    /// Fast-path read on the policy's lazy traverse grade (for `borrowed`:
+    /// one epoch pin, zero refcount traffic). An expired value reads as a
+    /// miss and is lazily cleared (version-tied, so the clear can never
+    /// race out a fresh put).
     std::optional<Value> get(const Key& key, std::uint64_t now_ns = 0) {
         shard_t& sh = shard_for(key);
         sh.stats->gets.fetch_add(1, std::memory_order_relaxed);
-        auto entry = bucket_for(sh, key).find_borrowed(key);
-        if (!entry) return std::nullopt;
+        typename policy_t::guard g(policy_);
+        entry_t* entry = bucket_for(sh, key).find(g, key);
+        if (entry == nullptr) return std::nullopt;
         std::uint64_t version = 0;
-        auto box = Domain::load_borrowed(entry->val, &version);
-        if (!box) return std::nullopt;
-        if (expired(box.get(), now_ns)) {
-            lazy_expire(sh, entry.promote(), now_ns);
+        box_t* box = g.template vtraverse<box_t>(3, entry->val, version);
+        if (box == nullptr) return std::nullopt;
+        if (expired(box, now_ns)) {
+            // Clearing needs a write license on the entry; a failed upgrade
+            // means the entry is being destroyed — already a miss.
+            if (g.upgrade(1)) lazy_expire(g, sh, entry, now_ns);
             return std::nullopt;
         }
         sh.stats->hits.fetch_add(1, std::memory_order_relaxed);
         return box->payload;
     }
 
-    /// The same read through counted references (LFRCLoad + LL): the
-    /// workload driver's "counted" reclaimer-policy axis, and the variant
-    /// to use when the returned value must be read without copying while
-    /// outliving any pin.
+    /// The same read through the strong (helping) search and a strong
+    /// value protection: the workload driver's "counted" axis on counted
+    /// policies, and the store's only fully-helping read path.
     std::optional<Value> get_counted(const Key& key, std::uint64_t now_ns = 0) {
         shard_t& sh = shard_for(key);
         sh.stats->gets.fetch_add(1, std::memory_order_relaxed);
-        auto entry = bucket_for(sh, key).find_counted(key);
-        if (!entry) return std::nullopt;
-        typename Domain::template local_ptr<box_t> box;
-        Domain::load_linked(entry->val, box);
-        if (!box) return std::nullopt;
-        if (expired(box.get(), now_ns)) {
-            lazy_expire(sh, std::move(entry), now_ns);
+        typename policy_t::guard g(policy_);
+        entry_t* entry = find_strong(g, sh, key);
+        if (entry == nullptr) return std::nullopt;
+        std::uint64_t version = 0;
+        box_t* box = g.template vprotect<box_t>(3, entry->val, version);
+        if (box == nullptr) return std::nullopt;
+        if (expired(box, now_ns)) {
+            lazy_expire(g, sh, entry, now_ns);
             return std::nullopt;
         }
         sh.stats->hits.fetch_add(1, std::memory_order_relaxed);
         return box->payload;
     }
 
-    /// Borrowed read returning the value-slot version alongside the value;
-    /// the version feeds a later cas(). Absent keys report version 0.
+    /// Read returning the value-slot version alongside the value; the
+    /// version feeds a later cas(). Absent keys report version 0.
     versioned get_versioned(const Key& key, std::uint64_t now_ns = 0) {
         shard_t& sh = shard_for(key);
         sh.stats->gets.fetch_add(1, std::memory_order_relaxed);
-        auto entry = bucket_for(sh, key).find_borrowed(key);
-        if (!entry) return {};
+        typename policy_t::guard g(policy_);
+        entry_t* entry = bucket_for(sh, key).find(g, key);
+        if (entry == nullptr) return {};
         std::uint64_t version = 0;
-        auto box = Domain::load_borrowed(entry->val, &version);
-        if (!box || expired(box.get(), now_ns)) {
-            if (box && expired(box.get(), now_ns)) {
-                lazy_expire(sh, entry.promote(), now_ns);
+        box_t* box = g.template vtraverse<box_t>(3, entry->val, version);
+        if (box == nullptr || expired(box, now_ns)) {
+            if (box != nullptr && expired(box, now_ns)) {
+                if (g.upgrade(1)) lazy_expire(g, sh, entry, now_ns);
                 // The clear (ours or a racer's) bumped the version past the
                 // one we read; report absence at the version we witnessed —
                 // a cas from it will fail and re-read, which is correct.
@@ -196,21 +223,22 @@ class kv_store {
              std::uint64_t now_ns = 0) {
         shard_t& sh = shard_for(key);
         sh.stats->puts.fetch_add(1, std::memory_order_relaxed);
-        auto box = Domain::template make<box_t>(std::move(value), deadline(ttl_ns, now_ns));
+        typename policy_t::guard g(policy_);
+        auto box = policy_.template make_owner<box_t>(std::move(value),
+                                                      deadline(ttl_ns, now_ns));
         bucket_t& bucket = bucket_for(sh, key);
         for (;;) {
-            auto [entry, inserted] = bucket.get_or_insert(key, [&] {
-                return Domain::template make<entry_t>(key);
-            });
-            while (!entry->dead.load()) {
-                typename Domain::template local_ptr<box_t> cur;
-                const auto token = Domain::load_linked(entry->val, cur);
+            auto [entry, inserted] = bucket.get_or_insert(
+                g, key, [&] { return policy_.template make_owner<entry_t>(key); });
+            while (!policy_.flag_load(entry->dead)) {
+                std::uint64_t version = 0;
+                box_t* cur = g.template vprotect<box_t>(3, entry->val, version);
                 // The install is atomic with "entry still live" (header
                 // comment): a racing erase either sees our value in its
                 // claim or makes this fail, never both and never neither.
-                if (Domain::store_conditional_if_flag(entry->val, token, cur.get(),
-                                                      box.get(), entry->dead,
-                                                      /*flag_required=*/false)) {
+                if (policy_.vinstall_if_live(entry->val, version, cur, box.get(),
+                                             entry->dead)) {
+                    policy_.publish_ok(box);
                     return;
                 }
             }
@@ -221,30 +249,31 @@ class kv_store {
 
     /// Version compare-and-swap: install `value` iff the key's value-slot
     /// version still equals `expected_version`. expected_version 0 is
-    /// create-if-absent. The underlying store_conditional DCASes the
-    /// (pointer, version) pair, so an intervening put/erase/expiry — even an
-    /// ABA rewrite of the same pointer — fails the cas.
+    /// create-if-absent. The underlying CASN covers the (pointer, version)
+    /// pair, so an intervening put/erase/expiry — even an ABA rewrite of
+    /// the same pointer — fails the cas.
     bool cas(const Key& key, std::uint64_t expected_version, Value value,
              std::uint64_t ttl_ns = 0, std::uint64_t now_ns = 0) {
         shard_t& sh = shard_for(key);
-        auto box = Domain::template make<box_t>(std::move(value), deadline(ttl_ns, now_ns));
+        typename policy_t::guard g(policy_);
+        auto box = policy_.template make_owner<box_t>(std::move(value),
+                                                      deadline(ttl_ns, now_ns));
         bucket_t& bucket = bucket_for(sh, key);
         for (;;) {
-            auto [entry, inserted] = bucket.get_or_insert(key, [&] {
-                return Domain::template make<entry_t>(key);
-            });
-            while (!entry->dead.load()) {
-                typename Domain::template local_ptr<box_t> cur;
-                const auto token = Domain::load_linked(entry->val, cur);
-                if (entry->dead.load()) break;  // frozen slot: judge fresh state
-                if (token.version != expected_version) {
+            auto [entry, inserted] = bucket.get_or_insert(
+                g, key, [&] { return policy_.template make_owner<entry_t>(key); });
+            while (!policy_.flag_load(entry->dead)) {
+                std::uint64_t version = 0;
+                box_t* cur = g.template vprotect<box_t>(3, entry->val, version);
+                if (policy_.flag_load(entry->dead)) break;  // frozen slot
+                if (version != expected_version) {
                     sh.stats->cas_fail.fetch_add(1, std::memory_order_relaxed);
                     return false;
                 }
-                if (Domain::store_conditional_if_flag(entry->val, token, cur.get(),
-                                                      box.get(), entry->dead,
-                                                      /*flag_required=*/false)) {
+                if (policy_.vinstall_if_live(entry->val, version, cur, box.get(),
+                                             entry->dead)) {
                     sh.stats->cas_ok.fetch_add(1, std::memory_order_relaxed);
+                    policy_.publish_ok(box);
                     return true;
                 }
                 // CASN failed: version moved or the entry died. Re-read; the
@@ -259,52 +288,58 @@ class kv_store {
     /// witnessed — no write can slip in between snapshot and mark.
     bool erase(const Key& key, std::uint64_t now_ns = 0) {
         shard_t& sh = shard_for(key);
+        typename policy_t::guard g(policy_);
         bucket_t& bucket = bucket_for(sh, key);
         for (;;) {
-            auto entry = bucket.find_counted(key);
-            if (!entry) return false;
-            typename Domain::template local_ptr<box_t> cur;
-            const auto token = Domain::load_linked(entry->val, cur);
-            if (!Domain::claim_and_set_flag(entry->val, token, cur.get(), entry->dead)) {
-                if (entry->dead.load()) return false;  // racing erase claimed it
+            entry_t* entry = find_strong(g, sh, key);
+            if (entry == nullptr) return false;
+            std::uint64_t version = 0;
+            box_t* cur = g.template vprotect<box_t>(3, entry->val, version);
+            if (!policy_.vclaim_mark_dead(entry->val, version, cur, entry->dead)) {
+                if (policy_.flag_load(entry->dead)) return false;  // racer claimed it
                 continue;  // a write moved the value under us; re-decide
             }
-            bucket.help_unlink(key);  // eager physical removal of the dead node
+            // cur stays protected in slot 3 (the claim retires, never frees,
+            // under a live protection), so the expiry check below is safe.
+            bucket.help_unlink(g, key);  // eager physical removal
             sh.stats->erases.fetch_add(1, std::memory_order_relaxed);
-            return cur && !expired(cur.get(), now_ns);
+            return cur != nullptr && !expired(cur, now_ns);
         }
     }
 
     // ---- maintenance ---------------------------------------------------
 
     /// Eagerly clear every expired value (version-tied, so racing fresh
-    /// puts survive), then drive the deferred frees so the reclaimed boxes
-    /// actually leave the heap. Returns the number of values expired.
+    /// puts survive), then drive the policy's deferred reclamation so the
+    /// cleared boxes actually leave the heap. Returns the number of values
+    /// expired by this call.
     std::size_t sweep_expired(std::uint64_t now_ns, int flush_rounds = 16) {
         std::size_t cleared = 0;
         for (auto& sh : shards_) {
             for (auto& bucket : sh->buckets) {
-                bucket->for_each_borrowed([&](const auto& entry_borrow) {
+                typename policy_t::guard g(policy_);
+                bucket->for_each(g, [&](entry_t& entry) {
                     std::uint64_t version = 0;
-                    auto box = Domain::load_borrowed(entry_borrow->val, &version);
-                    if (!box || !expired(box.get(), now_ns)) return;
-                    if (lazy_expire(*sh, entry_borrow.promote(), now_ns)) ++cleared;
+                    box_t* box = g.template vtraverse<box_t>(3, entry.val, version);
+                    if (box == nullptr || !expired(box, now_ns)) return;
+                    if (!g.upgrade(1)) return;  // entry being destroyed
+                    if (lazy_expire(g, *sh, &entry, now_ns)) ++cleared;
                 });
             }
         }
-        flush_deferred_frees(flush_rounds);
+        policy_.drain(flush_rounds);
         return cleared;
     }
 
-    /// Graceful shutdown: sever every bucket chain and drain the deferred
-    /// frees. Returns the residual pending count (0 = fully quiesced; see
-    /// flush_deferred_frees for why nonzero means a pin is still held).
-    /// Writers must be quiesced first (clear() contract).
+    /// Graceful shutdown: sever every bucket chain and drain the policy.
+    /// Returns the residual pending count (0 = fully quiesced; nonzero
+    /// means a pin/hazard elsewhere is still held). Writers must be
+    /// quiesced first (clear() contract).
     std::uint64_t drain(int flush_rounds = 64) {
         for (auto& sh : shards_) {
             for (auto& bucket : sh->buckets) bucket->clear();
         }
-        return flush_deferred_frees(flush_rounds);
+        return policy_.drain(flush_rounds);
     }
 
     // ---- introspection -------------------------------------------------
@@ -314,9 +349,11 @@ class kv_store {
         std::size_t n = 0;
         for (auto& sh : shards_) {
             for (auto& bucket : sh->buckets) {
-                bucket->for_each_borrowed([&](const auto& entry_borrow) {
-                    auto box = Domain::load_borrowed(entry_borrow->val);
-                    if (box && !expired(box.get(), now_ns)) ++n;
+                typename policy_t::guard g(policy_);
+                bucket->for_each(g, [&](entry_t& entry) {
+                    std::uint64_t version = 0;
+                    box_t* box = g.template vtraverse<box_t>(3, entry.val, version);
+                    if (box != nullptr && !expired(box, now_ns)) ++n;
                 });
             }
         }
@@ -327,6 +364,13 @@ class kv_store {
     std::size_t bucket_count() const noexcept {
         return shard_count() * shards_.front()->buckets.size();
     }
+
+    /// The reclamation backlog attributable to this store's policy (global
+    /// per scheme, not per store — comparable across stores of one policy
+    /// only when others are quiescent).
+    std::uint64_t reclaimer_pending() const noexcept { return policy_.pending(); }
+
+    static constexpr const char* policy_name() noexcept { return policy_t::name(); }
 
     /// Aggregate of the per-shard striped counters.
     store_stats stats() const {
@@ -346,32 +390,41 @@ class kv_store {
   private:
     /// The value cell: an immutable payload plus its expiry deadline. A
     /// leaf of the ownership graph — entries point at boxes, never back.
-    struct box_t : Domain::object {
+    struct box_t : policy_t::template node_base<box_t> {
         Value payload;
         std::uint64_t expires_at_ns;  ///< 0 = never expires
 
         box_t(Value v, std::uint64_t dl) : payload(std::move(v)), expires_at_ns(dl) {}
-        void lfrc_visit_children(typename Domain::child_visitor&) noexcept override {}
+
+        template <typename F>
+        void smr_children(F&&) {}
     };
 
-    /// A key's slot in its bucket list: the lfrc_list_core node contract
+    /// A key's slot in its bucket list: the list_core node contract
     /// (next/dead/key) plus the versioned value field.
-    struct entry_t : Domain::object {
-        typename Domain::template ptr_field<entry_t> next;
-        typename Domain::flag_field dead;
-        typename Domain::template ll_field<box_t> val;
+    struct entry_t : policy_t::template node_base<entry_t> {
+        typename policy_t::template link<entry_t> next;
+        typename policy_t::flag dead;
+        typename policy_t::template vslot<box_t> val;
         Key key{};
 
         entry_t() = default;
         explicit entry_t(Key k) : key(std::move(k)) {}
 
-        void lfrc_visit_children(typename Domain::child_visitor& v) noexcept override {
-            v.on_child(next.exclusive_get());
-            v.on_child(val.exclusive_get());
+        template <typename F>
+        void smr_children(F&& f) {
+            f(next);
+            f(val);
+        }
+
+        /// Quiescent-teardown hook (manual policies' reset_chain): the value
+        /// box is a satellite allocation the chain walk cannot see.
+        void smr_dispose() {
+            if constexpr (!policy_t::counted_links) delete val.exclusive_get();
         }
     };
 
-    using bucket_t = containers::lfrc_list_core<Domain, entry_t>;
+    using bucket_t = containers::list_core<policy_t, entry_t>;
 
     struct shard_stats_t {
         std::atomic<std::uint64_t> gets{0};
@@ -396,19 +449,24 @@ class kv_store {
         return ttl_ns == 0 ? 0 : now_ns + ttl_ns;
     }
 
-    /// Clear an expired value through a version-tied store_conditional.
-    /// Takes a *counted* entry (writing an object's cells requires one —
-    /// docs/ALGORITHMS.md §8); a null entry (promote lost to a concurrent
-    /// erase) is a no-op. Returns true when this call did the clearing.
-    bool lazy_expire(shard_t& sh, typename Domain::template local_ptr<entry_t> entry,
+    /// Strong lookup via the helping search: the live entry, protected in
+    /// slot 1, or null.
+    entry_t* find_strong(typename policy_t::guard& g, shard_t& sh, const Key& key) {
+        auto pos = bucket_for(sh, key).search(g, key);
+        return (pos.curr != nullptr && pos.curr->key == key) ? pos.curr : nullptr;
+    }
+
+    /// Clear an expired value through a version-tied install of null.
+    /// Requires `entry` strongly protected (writing an object's cells
+    /// requires a write license — docs/ALGORITHMS.md §8). Returns true when
+    /// this call did the clearing.
+    bool lazy_expire(typename policy_t::guard& g, shard_t& sh, entry_t* entry,
                      std::uint64_t now_ns) {
-        if (!entry) return false;
-        typename Domain::template local_ptr<box_t> cur;
-        const auto token = Domain::load_linked(entry->val, cur);
-        if (!cur || !expired(cur.get(), now_ns)) return false;  // racer already acted
-        if (!Domain::store_conditional_if_flag(entry->val, token, cur.get(),
-                                               static_cast<box_t*>(nullptr),
-                                               entry->dead, /*flag_required=*/false)) {
+        std::uint64_t version = 0;
+        box_t* cur = g.template vprotect<box_t>(3, entry->val, version);
+        if (cur == nullptr || !expired(cur, now_ns)) return false;  // racer acted
+        if (!policy_.vinstall_if_live(entry->val, version, cur,
+                                      static_cast<box_t*>(nullptr), entry->dead)) {
             return false;  // racing put/erase acted first; nothing to clear
         }
         sh.stats->expired.fetch_add(1, std::memory_order_relaxed);
@@ -416,16 +474,16 @@ class kv_store {
     }
 
     shard_t& shard_for(const Key& key) {
-        return *shards_[util::mix64(hasher_(key)) & shard_mask_];
+        return *shards_[util::low_index(util::mix64(hasher_(key)), shard_mask_)];
     }
 
     bucket_t& bucket_for(shard_t& sh, const Key& key) {
-        const std::uint64_t h = util::mix64(hasher_(key));
         // Shard index consumes the low bits; buckets key off the high ones.
-        return *sh.buckets[(h >> 32) % sh.buckets.size()];
+        return *sh.buckets[util::high_index(util::mix64(hasher_(key)), sh.buckets.size())];
     }
 
     Hash hasher_;
+    policy_t policy_{};
     std::size_t shard_mask_ = 0;
     std::vector<std::unique_ptr<shard_t>> shards_;
 };

@@ -2,18 +2,18 @@
 //
 // Runs N worker threads, each issuing a get/put/erase/cas mix against an
 // Ops adapter, with zipf- or uniform-distributed keys (YCSB generator from
-// util/random.hpp, ranks scrambled through util::mix64 so the hot set
+// util/random.hpp, ranks scrambled through util::mixed_index so the hot set
 // spreads across shards). Closed loop: every worker issues its next op the
 // moment the previous one returns, for `duration_seconds`, then the driver
-// joins everyone and — for the LFRC stores — releases the workers' epoch
-// slots so a subsequent drain can reach zero.
+// joins everyone and releases the workers' epoch slots so a subsequent
+// drain can reach zero.
 //
-// Determinism: per-thread RNGs derive from global_seed() + cfg.seed +
-// thread index, so a run is replayable with LFRC_SEED. The only
+// Determinism: per-thread RNGs derive from util::mix_seed(global_seed(),
+// cfg.seed, thread index), so a run is replayable with LFRC_SEED. The only
 // nondeterminism is the duration cutoff (wall clock), which is the point
 // of a throughput benchmark.
 //
-// The Ops concept (duck-typed; adapters below for both store flavors):
+// The Ops concept (duck-typed; adapters below):
 //
 //   void do_put(std::uint64_t key, std::uint64_t value, std::uint64_t now_ns);
 //   bool do_get(std::uint64_t key, std::uint64_t now_ns);   // true = hit
@@ -28,11 +28,11 @@
 #include <vector>
 
 #include "reclaim/epoch.hpp"
-#include "store/plain_store.hpp"
 #include "store/store.hpp"
 #include "util/hash.hpp"
 #include "util/random.hpp"
 #include "util/spin_barrier.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_registry.hpp"
 
 namespace lfrc::store {
@@ -68,17 +68,6 @@ struct workload_result {
     }
 };
 
-namespace detail {
-
-inline std::uint64_t steady_now_ns() {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-}
-
-}  // namespace detail
-
 /// Run `cfg` against `ops`. Blocks until the run completes. After joining
 /// the workers, releases their epoch-domain slots (clear_slot contract:
 /// legal exactly because the owning threads have exited and the slot
@@ -94,9 +83,9 @@ workload_result run_workload(Ops& ops, const workload_config& cfg) {
         auto preload = static_cast<std::uint64_t>(cfg.preload_fraction *
                                                   static_cast<double>(keyspace));
         if (preload > keyspace) preload = keyspace;
-        const std::uint64_t now = cfg.value_ttl_ns != 0 ? detail::steady_now_ns() : 0;
+        const std::uint64_t now = cfg.value_ttl_ns != 0 ? util::steady_now_ns() : 0;
         for (std::uint64_t rank = 0; rank < preload; ++rank) {
-            const std::uint64_t key = util::mix64(rank) % keyspace;
+            const std::uint64_t key = util::mixed_index(rank, keyspace);
             ops.do_put(key, rank, now);
         }
     }
@@ -113,20 +102,20 @@ workload_result run_workload(Ops& ops, const workload_config& cfg) {
             // Record the slot now: after join it identifies this worker's
             // epoch record for the graceful clear_slot below.
             slots[static_cast<std::size_t>(t)] = util::thread_registry::instance().slot();
-            util::xoshiro256 rng(util::global_seed() + cfg.seed * 0x9e3779b97f4a7c15ULL +
-                                 static_cast<std::uint64_t>(t));
+            util::xoshiro256 rng(util::mix_seed(util::global_seed(), cfg.seed,
+                                                static_cast<std::uint64_t>(t)));
             workload_result local;
             // TTL runs need a clock; cache it and refresh every 256 ops so
             // the clock read stays off the per-op path.
-            std::uint64_t now = cfg.value_ttl_ns != 0 ? detail::steady_now_ns() : 0;
+            std::uint64_t now = cfg.value_ttl_ns != 0 ? util::steady_now_ns() : 0;
             std::uint64_t ops_since_clock = 0;
             barrier.arrive_and_wait();
             while (!stop.load(std::memory_order_relaxed)) {
                 if (cfg.value_ttl_ns != 0 && ++ops_since_clock >= 256) {
                     ops_since_clock = 0;
-                    now = detail::steady_now_ns();
+                    now = util::steady_now_ns();
                 }
-                const std::uint64_t key = util::mix64(zipf(rng)) % keyspace;
+                const std::uint64_t key = util::mixed_index(zipf(rng), keyspace);
                 const std::uint64_t roll = rng.below(100);
                 if (roll < static_cast<std::uint64_t>(cfg.get_percent)) {
                     ++local.gets;
@@ -161,10 +150,10 @@ workload_result run_workload(Ops& ops, const workload_config& cfg) {
 
     // Graceful shard-drain path: the workers are joined (can never run
     // again), so clearing their epoch slots is legal and lets a subsequent
-    // flush_deferred_frees/drain reach zero even though the OS threads —
-    // whose thread_local destructors normally reset the slot state — are
-    // gone without having exited any still-pinned sections. Slots with a
-    // live pin at join time would otherwise stall the epoch forever.
+    // flush/drain reach zero even though the OS threads — whose
+    // thread_local destructors normally reset the slot state — are gone
+    // without having exited any still-pinned sections. Slots with a live
+    // pin at join time would otherwise stall the epoch forever.
     for (const std::size_t s : slots) {
         reclaim::epoch_domain::global().clear_slot(s);
     }
@@ -234,15 +223,16 @@ struct kv_store_counted_ops {
     std::uint64_t ttl_ns;
 };
 
-/// GC-dependent baseline under a pluggable reclaimer (epoch / hazard /
-/// leaky — the §6 alternatives).
-template <typename Policy>
-struct plain_store_ops {
-    using store_t = plain_store<std::uint64_t, std::uint64_t, Policy>;
-    explicit plain_store_ops(store_t& s, std::uint64_t ttl = 0)
+/// Any kv_store instantiation by its policy name — the generic adapter the
+/// E9 policy matrix loops over (counted / borrowed / ebr / hp / leaky all
+/// run the identical store body).
+template <typename PolicyOrDomain>
+struct kv_store_policy_ops {
+    using store_t = kv_store<PolicyOrDomain, std::uint64_t, std::uint64_t>;
+    explicit kv_store_policy_ops(store_t& s, std::uint64_t ttl = 0)
         : store(s), ttl_ns(ttl) {}
 
-    static constexpr const char* name() { return Policy::name(); }
+    static constexpr const char* name() { return store_t::policy_name(); }
     bool do_get(std::uint64_t k, std::uint64_t now) {
         return store.get(k, now).has_value();
     }
@@ -251,7 +241,8 @@ struct plain_store_ops {
     }
     bool do_erase(std::uint64_t k, std::uint64_t now) { return store.erase(k, now); }
     bool do_cas(std::uint64_t k, std::uint64_t v, std::uint64_t now) {
-        return store.cas(k, store.version_of(k), v, ttl_ns, now);
+        const auto cur = store.get_versioned(k, now);
+        return store.cas(k, cur.version, v, ttl_ns, now);
     }
 
     store_t& store;

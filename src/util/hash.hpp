@@ -7,6 +7,7 @@
 // and already the constant set used by util::splitmix64.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace lfrc::util {
@@ -20,6 +21,23 @@ inline std::uint64_t mix64(std::uint64_t h) noexcept {
     h *= 0xc4ceb9fe1a85ec53ULL;
     h ^= h >> 33;
     return h;
+}
+
+/// Scrambled table index: mix then reduce mod `n`. The one spelling of the
+/// "spread sequential keys over n buckets" pattern shared by lfrc_hash_set,
+/// the store's shard/bucket fan-out, and the workload key scrambler.
+inline std::size_t mixed_index(std::uint64_t x, std::size_t n) noexcept {
+    return static_cast<std::size_t>(mix64(x) % static_cast<std::uint64_t>(n));
+}
+
+/// Split one mixed hash into two independent indices: the low bits pick a
+/// shard (power-of-two `mask`), the high bits pick a bucket within it — so
+/// shard and bucket choice never correlate.
+inline std::size_t low_index(std::uint64_t mixed, std::size_t mask) noexcept {
+    return static_cast<std::size_t>(mixed) & mask;
+}
+inline std::size_t high_index(std::uint64_t mixed, std::size_t n) noexcept {
+    return static_cast<std::size_t>((mixed >> 32) % static_cast<std::uint64_t>(n));
 }
 
 }  // namespace lfrc::util

@@ -122,6 +122,15 @@ class zipf_gen {
     double eta_ = 0.0;
 };
 
+/// Derive a per-stream, per-index seed from a base seed: the golden-ratio
+/// stream separation used by thread_rng and the workload driver, in one
+/// place (base + stream * phi + idx keeps distinct streams decorrelated
+/// through splitmix64's weak-seed handling).
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream,
+                              std::uint64_t idx = 0) noexcept {
+    return base + stream * 0x9e3779b97f4a7c15ULL + idx;
+}
+
 /// Process-wide base seed, read once: the LFRC_SEED environment variable
 /// (decimal or 0x-hex) when set, a fixed default otherwise. Every replayable
 /// generator in the repo (thread_rng, the sim harness's schedule seeds)

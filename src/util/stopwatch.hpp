@@ -6,6 +6,16 @@
 
 namespace lfrc::util {
 
+/// Current steady-clock time as nanoseconds since the clock's epoch. The
+/// canonical monotonic "now" for TTL deadlines and duration math (the store
+/// workload driver, benches); one home so call sites agree on the clock.
+inline std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 class stopwatch {
   public:
     using clock = std::chrono::steady_clock;

@@ -11,8 +11,10 @@
 #include <memory>
 #include <string>
 
+#include "containers/stack_core.hpp"
 #include "lfrc_test_helpers.hpp"
 #include "sim_test_support.hpp"
+#include "smr/counted.hpp"
 
 namespace {
 
@@ -86,6 +88,47 @@ TEST(SimMutation, FailingSeedReplaysDeterministically) {
     EXPECT_TRUE(replayed.failed) << "failing seed " << found.failing_seed
                                  << " did not reproduce";
     EXPECT_EQ(replayed.kind, found.kind);
+}
+
+// The same flaw, but injected through the smr policy layer and hunted
+// through the GENERIC stack core: smr::counted_mutated swaps the guard's
+// protect() onto the plain-CAS load, so two poppers racing on the last
+// node reproduce §2's resurrection (count 0 -> 1 on a retired object) and
+// its double retire — proving the unified core did not dilute the
+// explorer's reach into the policy's load discipline.
+//
+// Full container ops walk far more instrumented steps than the minimal
+// load race above, so unbounded random scheduling dilutes the window;
+// a CHESS-style preemption bound (sim::options docs) recovers it — the
+// mutant falls within single-digit schedules at bound 3.
+template <bool Mutated>
+sim::result run_core_pop_race(std::uint64_t seed, int schedules) {
+    using P = std::conditional_t<Mutated, lfrc::smr::counted_mutated<D>,
+                                 lfrc::smr::counted<D>>;
+    auto o = opts(seed, schedules);
+    o.preemption_bound = 3;
+    return sim::explore(o, [](sim::env& e) {
+        auto st = std::make_shared<lfrc::containers::stack_core<int, P>>();
+        st->push(7);
+        e.spawn("popper-a", [st] { st->pop(); });
+        e.spawn("popper-b", [st] { st->pop(); });
+        e.on_quiesce([] { expect_quiesced_drain(); });
+    });
+}
+
+TEST(SimMutation, PlainCasMutantCaughtThroughGenericCore) {
+    const auto res = run_core_pop_race</*Mutated=*/true>(9090, k_budget);
+    ASSERT_TRUE(res.failed)
+        << "the plain-CAS guard mutant survived " << k_budget
+        << " schedules through stack_core — the policy layer hid the bug";
+    EXPECT_TRUE(res.kind == "double-free" || res.kind == "use-after-free")
+        << "unexpected violation kind '" << res.kind << "'\n"
+        << res.report;
+}
+
+TEST(SimMutation, CountedPolicyPassesTheSameCoreHarness) {
+    const auto res = run_core_pop_race</*Mutated=*/false>(9090, k_budget);
+    EXPECT_CLEAN(res);
 }
 
 TEST(SimMutation, CorrectLoadPassesTheSameHarness) {

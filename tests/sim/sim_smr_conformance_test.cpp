@@ -1,0 +1,74 @@
+// Sim conformance for the smr policy layer: the SAME generic stack core,
+// model-checked under every policy that can run on the cooperative fiber
+// scheduler — counted, borrowed (on the ideal-DCAS domain, per
+// sim_test_support's density advice), and the manual ebr/hp/leaky schemes.
+// Each schedule races two push-then-pop fibers and asserts conservation at
+// quiescence while the shadow heap watches for use-after-free/double-free;
+// a CHESS-style preemption bound keeps the container-sized step space
+// tractable (see sim_mutation_test for the calibration).
+//
+// smr::gc_heap is exercised by test_smr_conformance/test_gc_containers
+// instead: its stop-the-world handshake parks mutators on OS-thread
+// safepoints, which the single-threaded fiber scheduler does not model.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <type_traits>
+
+#include "containers/stack_core.hpp"
+#include "sim_test_support.hpp"
+#include "smr/smr.hpp"
+
+namespace {
+
+using namespace sim_tests;
+namespace smr = lfrc::smr;
+
+template <typename P>
+sim::result run_stack_race(std::uint64_t seed, int schedules, bool check_leaks) {
+    auto o = opts(seed, schedules);
+    o.check_leaks = check_leaks;  // leaky's popped nodes ARE leaks, by design
+    o.preemption_bound = 3;
+    return sim::explore(o, [](sim::env& e) {
+        struct state {
+            lfrc::containers::stack_core<int, P> st;
+            long push_sum = 0;
+            long pop_sum = 0;
+        };
+        auto s = std::make_shared<state>();
+        e.spawn("a", [s] {
+            s->st.push(1);
+            s->push_sum += 1;
+            if (auto got = s->st.pop()) s->pop_sum += *got;
+        });
+        e.spawn("b", [s] {
+            s->st.push(2);
+            s->push_sum += 2;
+            if (auto got = s->st.pop()) s->pop_sum += *got;
+        });
+        e.on_quiesce([s] {
+            while (auto got = s->st.pop()) s->pop_sum += *got;
+            if (s->push_sum != s->pop_sum) {
+                sim::fail_here("lost-update", "stack dropped or duplicated a value");
+            }
+            s->st.policy().drain(64);
+            expect_quiesced_drain();
+        });
+    });
+}
+
+template <typename P>
+class SimSmrConformance : public ::testing::Test {};
+
+using SimPolicies =
+    ::testing::Types<smr::counted<ideal_dom>, smr::borrowed<ideal_dom>,
+                     smr::ebr<>, smr::hp<>, smr::leaky<>>;
+TYPED_TEST_SUITE(SimSmrConformance, SimPolicies);
+
+TYPED_TEST(SimSmrConformance, StackRaceConservesAndStaysMemorySafe) {
+    constexpr bool leaks_by_design = std::is_same_v<TypeParam, smr::leaky<>>;
+    const auto res = run_stack_race<TypeParam>(777, 1000, !leaks_by_design);
+    EXPECT_CLEAN(res);
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Tests for the LFRC-converted containers (Treiber stack, Michael-Scott
-// queue) over both engines, and the reclaimer-policy baselines (leaky, EBR,
-// HP) — sequential semantics plus concurrent conservation and leak checks.
+// queue) over both engines, and the manual-reclamation baselines
+// (smr::leaky / smr::ebr / smr::hp on the same generic cores) — sequential
+// semantics plus concurrent conservation and leak checks.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,7 +12,6 @@
 #include "containers/ms_queue.hpp"
 #include "containers/reclaim_queue.hpp"
 #include "containers/reclaim_stack.hpp"
-#include "containers/reclaimer_policies.hpp"
 #include "containers/treiber_stack.hpp"
 #include "lfrc_test_helpers.hpp"
 #include "util/random.hpp"
@@ -173,9 +173,7 @@ TYPED_TEST(LfrcQueueTest, MpmcConservationAndPerProducerOrder) {
 
 template <typename P>
 class ReclaimStackTest : public ::testing::Test {};
-using Policies =
-    ::testing::Types<containers::leaky_policy, containers::ebr_policy,
-                     containers::hp_policy>;
+using Policies = ::testing::Types<smr::leaky<>, smr::ebr<>, smr::hp<>>;
 TYPED_TEST_SUITE(ReclaimStackTest, Policies);
 
 TYPED_TEST(ReclaimStackTest, LifoOrder) {
@@ -264,13 +262,10 @@ TEST(ReclaimStackMemory, EbrReclaimsAtQuiescence) {
     flush_global_domains();
     alloc::scope_check check;
     {
-        containers::reclaim_stack<int, containers::ebr_policy> st;
+        containers::reclaim_stack<int, smr::ebr<>> st;
         for (int i = 0; i < 5000; ++i) st.push(i);
         for (int i = 0; i < 5000; ++i) st.pop();
-        for (int i = 0; i < 40; ++i) {
-            reclaim::epoch_domain::global().try_advance();
-            reclaim::epoch_domain::global().drain_all();
-        }
+        st.policy().drain(40);
     }
     EXPECT_EQ(check.leaked_objects(), 0);
 }
@@ -279,17 +274,17 @@ TEST(ReclaimStackMemory, HpReclaimsAtQuiescence) {
     flush_global_domains();
     alloc::scope_check check;
     {
-        containers::reclaim_stack<int, containers::hp_policy> st;
+        containers::reclaim_stack<int, smr::hp<>> st;
         for (int i = 0; i < 5000; ++i) st.push(i);
         for (int i = 0; i < 5000; ++i) st.pop();
-        reclaim::hazard_domain::global().drain_all();
+        st.policy().drain(40);
     }
     EXPECT_EQ(check.leaked_objects(), 0);
 }
 
 TEST(ReclaimStackMemory, LeakyLeaksByDesign) {
     alloc::scope_check check;
-    containers::reclaim_stack<int, containers::leaky_policy> st;
+    containers::reclaim_stack<int, smr::leaky<>> st;
     for (int i = 0; i < 1000; ++i) st.push(i);
     for (int i = 0; i < 1000; ++i) st.pop();
     // 1000 nodes popped, none freed: the "GC will get it" fiction.

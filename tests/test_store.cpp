@@ -1,6 +1,6 @@
 // lfrc::store::kv_store — sequential semantics, TTL expiry, version-cas
 // conflict rules, graceful drain, and a concurrent churn test; plus the
-// plain_store baseline's contract (DESIGN.md §9).
+// same store body under the manual smr policies (DESIGN.md §9/§10).
 //
 // Time never comes from a clock here: every expiry test passes explicit
 // now_ns values, which is the store's own contract (sim determinism).
@@ -11,9 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "containers/reclaimer_policies.hpp"
 #include "lfrc/lfrc.hpp"
-#include "store/plain_store.hpp"
 #include "store/store.hpp"
 #include "store/workload.hpp"
 
@@ -232,26 +230,27 @@ TYPED_TEST(StoreTest, ConcurrentGetPutEraseCasChurn) {
     EXPECT_EQ(s.drain(), 0u) << "churn left unreclaimed garbage";
 }
 
-// ---- plain_store baseline ---------------------------------------------
+// ---- the same store body under the manual smr policies -----------------
 
 template <typename P>
-class PlainStoreTest : public ::testing::Test {};
+class PolicyStoreTest : public ::testing::Test {};
 
-using Policies =
-    ::testing::Types<containers::ebr_policy, containers::hp_policy>;
-TYPED_TEST_SUITE(PlainStoreTest, Policies);
+using Policies = ::testing::Types<smr::ebr<>, smr::hp<>, smr::leaky<>>;
+TYPED_TEST_SUITE(PolicyStoreTest, Policies);
 
-TYPED_TEST(PlainStoreTest, SequentialContractMatchesKvStore) {
-    store::plain_store<std::uint64_t, std::string, TypeParam> s(16);
+TYPED_TEST(PolicyStoreTest, SequentialContractMatchesCountedStore) {
+    store::kv_store<TypeParam, std::uint64_t, std::string> s(
+        typename store::kv_store<TypeParam, std::uint64_t, std::string>::config{2, 8});
     EXPECT_FALSE(s.get(1).has_value());
     s.put(1, "one");
     EXPECT_EQ(s.get(1).value_or(""), "one");
-    EXPECT_EQ(s.version_of(1), 1u);
+    EXPECT_EQ(s.get_versioned(1).version, 1u);
     s.put(1, "two");
-    EXPECT_EQ(s.version_of(1), 2u);
+    EXPECT_EQ(s.get_versioned(1).version, 2u);
     EXPECT_TRUE(s.cas(1, 2, "three"));
     EXPECT_FALSE(s.cas(1, 2, "stale"));
     EXPECT_EQ(s.get(1).value_or(""), "three");
+    EXPECT_EQ(s.get_counted(1).value_or(""), "three");
     EXPECT_TRUE(s.erase(1));
     EXPECT_FALSE(s.get(1).has_value());
     EXPECT_TRUE(s.cas(1, 0, "reborn")) << "create-if-absent after erase";
@@ -261,6 +260,7 @@ TYPED_TEST(PlainStoreTest, SequentialContractMatchesKvStore) {
     EXPECT_FALSE(s.get(2, 100).has_value());
     EXPECT_FALSE(s.erase(2, 200));
     EXPECT_EQ(s.size(200), 1u);  // only key 1 ("reborn") is live
+    s.drain();
 }
 
 // The workload driver itself, at a deterministic-ish smoke scale: it must

@@ -3,19 +3,23 @@
 # green before it lands (README "CI matrix"). Each cell is a separate build
 # tree so configurations never contaminate each other:
 #
+#   analysis  static analysis: lfrc_lint (fixture self-test + src must be
+#             clean), plus clang-tidy / cppcheck when the host provides them
 #   release   plain Release tree — the same cells run_all.sh exercises
 #   tsan      LFRC_SANITIZE=thread   (racy protocols die here first)
 #   asan      LFRC_SANITIZE=address  (UAF / double-free / leaks)
 #   sim       LFRC_SIM=ON, quick schedule budget (deterministic interleaving
 #             exploration; incompatible with the sanitizers, hence its own cell)
 #
-# ~5 minutes on a 1-CPU container. Select a subset: ./scripts/ci.sh tsan sim
+# analysis runs first: a lint finding fails the matrix in seconds, before
+# any compile. ~5 minutes on a 1-CPU container. Select a subset:
+#   ./scripts/ci.sh tsan sim        or        ./scripts/ci.sh --analysis
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cells=("$@")
 if [[ ${#cells[@]} -eq 0 ]]; then
-  cells=(release tsan asan sim)
+  cells=(analysis release tsan asan sim)
 fi
 
 run_cell() {
@@ -27,6 +31,27 @@ run_cell() {
 
 for cell in "${cells[@]}"; do
   case "$cell" in
+    analysis|--analysis)
+      run_cell analysis python3 tools/lfrc_lint/lfrc_lint.py --root . --self-test
+      # The real gate: src/ must lint clean. Fails fast on any finding.
+      python3 tools/lfrc_lint/lfrc_lint.py --root . src
+      # Heavier analyzers ride along where the host has them. The container
+      # images bake in only the base toolchain, so absence is a notice,
+      # not a failure — lfrc_lint above is the mandatory check.
+      if command -v clang-tidy >/dev/null 2>&1; then
+        cmake -B build -G Ninja >/dev/null  # refresh compile_commands.json
+        git ls-files 'src/**/*.cpp' 'src/*.cpp' | \
+          xargs -r clang-tidy -p build --quiet
+      else
+        echo "analysis: clang-tidy not on PATH — skipped (config: .clang-tidy)"
+      fi
+      if command -v cppcheck >/dev/null 2>&1; then
+        cppcheck --std=c++20 --enable=warning,performance,portability \
+          --inline-suppr --error-exitcode=1 --quiet -I src src
+      else
+        echo "analysis: cppcheck not on PATH — skipped"
+      fi
+      ;;
     release)
       run_cell release cmake -B build -G Ninja
       cmake --build build
@@ -66,7 +91,7 @@ for cell in "${cells[@]}"; do
         ctest --test-dir build-sim -L sim --output-on-failure
       ;;
     *)
-      echo "unknown ci cell: $cell (known: release tsan asan sim)" >&2
+      echo "unknown ci cell: $cell (known: analysis release tsan asan sim)" >&2
       exit 2
       ;;
   esac

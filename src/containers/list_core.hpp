@@ -44,6 +44,7 @@ struct set_node : P::template node_base<set_node<P, Key>> {
     typename P::flag dead;
     Key key{};
 
+    static constexpr std::size_t smr_link_count = 1;
     template <typename F>
     void smr_children(F&& f) {
         f(next);
@@ -54,6 +55,9 @@ template <lfrc::smr::policy P, typename Node>
 class list_core {
   public:
     using node_type = Node;
+    static_assert(lfrc::smr::detail::children_cover_all_links_v<Node>,
+                  "list node must declare smr_link_count and a visitable "
+                  "smr_children enumeration");
 
     struct position {
         Node* pred;  // strongly protected in slot 0 (sentinel if null slot)

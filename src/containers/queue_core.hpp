@@ -25,11 +25,15 @@ class queue_core {
         typename P::template link<node> next;
         V value{};
 
+        static constexpr std::size_t smr_link_count = 1;
         template <typename F>
         void smr_children(F&& f) {
             f(next);
         }
     };
+    static_assert(lfrc::smr::detail::children_cover_all_links_v<node>,
+                  "queue node must declare smr_link_count and a visitable "
+                  "smr_children enumeration");
 
     queue_core()
         requires std::default_initializable<P>

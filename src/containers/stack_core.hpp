@@ -25,11 +25,20 @@ class stack_core {
         V value{};
 
         // Child enumeration for tracing policies (counted unravel, gc mark).
+        // smr_link_count is its compile-time mirror: lfrc_lint checks it
+        // against the declared link/vslot members, the trait
+        // smr::detail::children_cover_all_links_v checks it in-template,
+        // and debug/sim builds assert the enumeration visits exactly this
+        // many fields.
+        static constexpr std::size_t smr_link_count = 1;
         template <typename F>
         void smr_children(F&& f) {
             f(next);
         }
     };
+    static_assert(lfrc::smr::detail::children_cover_all_links_v<node>,
+                  "stack node must declare smr_link_count and a visitable "
+                  "smr_children enumeration");
 
     stack_core()
         requires std::default_initializable<P>

@@ -19,6 +19,7 @@
 // on its referent.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -59,8 +60,16 @@ class counted {
     class node_base : public Domain::object {
       private:
         void lfrc_visit_children(typename Domain::child_visitor& v) noexcept override {
-            static_cast<Node*>(this)->smr_children(
-                [&v](auto& field) { v.on_child(field.exclusive_get()); });
+            [[maybe_unused]] std::size_t visited = 0;
+            static_cast<Node*>(this)->smr_children([&v, &visited](auto& field) {
+                ++visited;
+                v.on_child(field.exclusive_get());
+            });
+            if constexpr (detail::has_smr_link_count<Node>::value) {
+                assert(visited == Node::smr_link_count &&
+                       "smr_children visited a different number of fields "
+                       "than smr_link_count declares");
+            }
         }
     };
 

@@ -28,6 +28,7 @@
 // deregistered.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -62,8 +63,17 @@ class gc_heap {
     template <typename Node>
     struct node_base {
         void gc_trace(gc::marker& m) const {
+            [[maybe_unused]] std::size_t visited = 0;
             const_cast<Node*>(static_cast<const Node*>(this))
-                ->smr_children([&m](auto& field) { field.gc_mark(m); });
+                ->smr_children([&m, &visited](auto& field) {
+                    ++visited;
+                    field.gc_mark(m);
+                });
+            if constexpr (detail::has_smr_link_count<Node>::value) {
+                assert(visited == Node::smr_link_count &&
+                       "smr_children visited a different number of fields "
+                       "than smr_link_count declares");
+            }
         }
     };
 

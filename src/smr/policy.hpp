@@ -98,6 +98,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "dcas/cell.hpp"
@@ -224,6 +225,48 @@ inline std::uint64_t drain_epoch_domain(int rounds) {
     }
     return d.pending();
 }
+
+// ---- smr_children / smr_link_count cross-check ----------------------------
+//
+// A node's smr_children(f) enumeration is the single source of truth for
+// tracing policies (counted unravel, gc mark). Nothing in the language makes
+// the enumeration stay in sync with the class's link/vslot members, so the
+// repo checks it three ways:
+//
+//   * tools/lfrc_lint rule R5 compares the enumerated set against the
+//     declared members at the source level (and checks smr_link_count);
+//   * children_cover_all_links_v below is the compile-time face: the node
+//     must declare `static constexpr std::size_t smr_link_count` and its
+//     smr_children must accept a generic visitor — cores static_assert it,
+//     so templates the linter cannot expand are still covered;
+//   * debug/sim builds assert at trace time that the enumeration visits
+//     exactly smr_link_count fields (counted.hpp / gc_heap.hpp adapters).
+
+/// Counting visitor: accepts any field reference, only increments. Drives
+/// both the invocability check and the trace-time count assertion.
+struct child_counter {
+    std::size_t n = 0;
+    template <typename Field>
+    void operator()(Field&) noexcept { ++n; }
+};
+
+template <typename Node, typename = void>
+struct has_smr_link_count : std::false_type {};
+template <typename Node>
+struct has_smr_link_count<
+    Node, std::void_t<decltype(std::size_t{Node::smr_link_count})>>
+    : std::true_type {};
+
+template <typename Node, typename = void>
+struct children_invocable : std::false_type {};
+template <typename Node>
+struct children_invocable<
+    Node, std::void_t<decltype(std::declval<Node&>().smr_children(
+              std::declval<child_counter&>()))>> : std::true_type {};
+
+template <typename Node>
+inline constexpr bool children_cover_all_links_v =
+    has_smr_link_count<Node>::value && children_invocable<Node>::value;
 
 }  // namespace detail
 

@@ -182,6 +182,9 @@ class snark_deque_fixed {
     }
 
   private:
+    // dummy_ is written only under exclusive access (ctor/dtor); normal
+    // operation reads a pointer pinned by the field's own count.
+    // lfrc-lint: quiescent
     snode* dummy_ptr() const noexcept { return dummy_.exclusive_get(); }
 
     typename Domain::template ptr_field<snode> dummy_;

@@ -230,6 +230,7 @@ class snark_deque {
     /// Dummy is written only by the constructor/destructor, so reading it
     /// without a counted load is safe during normal operation; its lifetime
     /// is pinned by the dummy_ field's own count.
+    // lfrc-lint: quiescent
     snode* dummy_ptr() const noexcept { return dummy_.exclusive_get(); }
 
     typename Domain::template ptr_field<snode> dummy_;      // line 33

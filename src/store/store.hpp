@@ -396,9 +396,13 @@ class kv_store {
 
         box_t(Value v, std::uint64_t dl) : payload(std::move(v)), expires_at_ns(dl) {}
 
+        static constexpr std::size_t smr_link_count = 0;
         template <typename F>
         void smr_children(F&&) {}
     };
+    static_assert(lfrc::smr::detail::children_cover_all_links_v<box_t>,
+                  "box_t must declare smr_link_count and a visitable "
+                  "smr_children enumeration");
 
     /// A key's slot in its bucket list: the list_core node contract
     /// (next/dead/key) plus the versioned value field.
@@ -411,6 +415,7 @@ class kv_store {
         entry_t() = default;
         explicit entry_t(Key k) : key(std::move(k)) {}
 
+        static constexpr std::size_t smr_link_count = 2;
         template <typename F>
         void smr_children(F&& f) {
             f(next);
@@ -423,6 +428,9 @@ class kv_store {
             if constexpr (!policy_t::counted_links) delete val.exclusive_get();
         }
     };
+    static_assert(lfrc::smr::detail::children_cover_all_links_v<entry_t>,
+                  "entry_t must declare smr_link_count and a visitable "
+                  "smr_children enumeration");
 
     using bucket_t = containers::list_core<policy_t, entry_t>;
 

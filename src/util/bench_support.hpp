@@ -71,7 +71,7 @@ inline bench_result run_for(int threads, double duration_seconds,
     bench_result result;
     result.seconds = clock.elapsed_seconds();
     for (auto n : ops) result.total_ops += n;
-    for (auto& h : hists) result.latency.merge(h);
+    for (const auto& h : hists) result.latency.merge(h);
     return result;
 }
 

@@ -41,10 +41,13 @@ class table {
             for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
                 widths[c] = std::max(widths[c], row[c].size());
 
+        // A named empty keeps the ternary from materializing (and copying)
+        // a temporary per cell just to bind the reference.
+        static const std::string empty;
         auto line = [&](const std::vector<std::string>& cells) {
             os << "|";
             for (std::size_t c = 0; c < widths.size(); ++c) {
-                const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+                const std::string& cell = c < cells.size() ? cells[c] : empty;
                 os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
             }
             os << '\n';

@@ -68,6 +68,21 @@ TYPED_TEST(SmrConformance, PolicySurface) {
     // hp is the one scheme where walking a link of an already-dead node is
     // unsafe (its successor pointer is frozen, not protected).
     static_assert(P::has_lazy_traverse == !std::is_same_v<P, smr::hp<>>);
+    // Standalone guard so a future hp refactor cannot flip the flag without
+    // tripping a named assertion: cores key their unsafe-walk avoidance
+    // (traverse degrading to protect) off exactly this being false.
+    static_assert(!smr::hp<>::has_lazy_traverse,
+                  "smr::hp must not advertise lazy traverse — a hazard "
+                  "pointer protects one node, never a frozen successor");
+    // R5's compile-time face (lfrc_lint checks the same at source level):
+    // every core node declares smr_link_count and a visitor-invocable
+    // smr_children; debug/sim builds assert the visit count matches.
+    static_assert(smr::detail::children_cover_all_links_v<
+                      typename containers::stack_core<int, P>::node>);
+    static_assert(smr::detail::children_cover_all_links_v<
+                      typename containers::queue_core<int, P>::node>);
+    static_assert(smr::detail::children_cover_all_links_v<
+                      containers::set_node<P, int>>);
     EXPECT_NE(P::name(), nullptr);
     EXPECT_GT(std::char_traits<char>::length(P::name()), 0u);
 }

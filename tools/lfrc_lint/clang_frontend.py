@@ -1,0 +1,105 @@
+"""Optional libclang frontend for lfrc_lint.
+
+When the toolchain provides python libclang bindings (`import clang.cindex`)
+AND a compile_commands.json exists, R1's receiver-type resolution runs on
+the real AST instead of the fallback lexer: a member access is flagged by
+its *resolved* type (std::atomic<T*> member of a node_base-derived record),
+not by name matching. Rules R2-R5 are scope/structure checks the fallback
+model answers exactly as well, so they always run on it — see
+tools/lfrc_lint/README.md for the precision table.
+
+This module is written to degrade, never to break the check: any import,
+index, or parse failure returns None and the caller falls back. The
+container images used by scripts/ci.sh do not ship libclang python
+bindings today, so in CI this path reports "unavailable" — the fixture
+corpus keeps both paths honest wherever the bindings do exist.
+"""
+
+from __future__ import annotations
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def check_r1_ast(path: str, relpath: str, compdb_dir: str):
+    """Return a list of rules.Finding for R1 via the AST, or None when
+    libclang is unusable (caller then uses the fallback lexer for R1)."""
+    try:
+        import clang.cindex as ci
+    except Exception:
+        return None
+    try:
+        from rules import Finding
+        comp_db = ci.CompilationDatabase.fromDirectory(compdb_dir)
+        cmds = comp_db.getCompileCommands(path)
+        args = []
+        if cmds:
+            # strip compiler argv[0], the source file and -o pairs
+            it = iter(list(cmds)[0].arguments)
+            next(it, None)
+            for a in it:
+                if a in ("-o", "-c"):
+                    next(it, None) if a == "-o" else None
+                    continue
+                if a.endswith((".cpp", ".cc", ".hpp")):
+                    continue
+                args.append(a)
+        index = ci.Index.create()
+        tu = index.parse(path, args=args)
+    except Exception:
+        return None
+
+    findings = []
+
+    def derives_node_base(record) -> bool:
+        for c in record.get_children():
+            if c.kind == ci.CursorKind.CXX_BASE_SPECIFIER:
+                if "node_base" in c.type.spelling or \
+                        "::object" in c.type.spelling:
+                    return True
+        return False
+
+    def is_atomic_ptr(t) -> bool:
+        s = t.get_canonical().spelling
+        return s.startswith("std::atomic<") and "*" in s
+
+    atomic_members = set()
+
+    def visit(cursor):
+        if cursor.kind in (ci.CursorKind.STRUCT_DECL,
+                           ci.CursorKind.CLASS_DECL) and \
+                cursor.is_definition() and derives_node_base(cursor):
+            for f in cursor.get_children():
+                if f.kind == ci.CursorKind.FIELD_DECL and \
+                        is_atomic_ptr(f.type):
+                    atomic_members.add(f.get_usr())
+                    findings.append(Finding(
+                        "R1", relpath, f.location.line,
+                        f"managed node '{cursor.spelling}' declares raw "
+                        f"atomic pointer cell '{f.spelling}' "
+                        f"({f.type.spelling}) [ast]"))
+        if cursor.kind == ci.CursorKind.CALL_EXPR and cursor.spelling in (
+                "load", "store", "exchange", "compare_exchange_weak",
+                "compare_exchange_strong", "fetch_add", "fetch_sub"):
+            for ch in cursor.get_children():
+                if ch.kind == ci.CursorKind.MEMBER_REF_EXPR:
+                    ref = ch.referenced
+                    if ref is not None and ref.get_usr() in atomic_members:
+                        findings.append(Finding(
+                            "R1", relpath, cursor.location.line,
+                            f"raw atomic {cursor.spelling}() on managed "
+                            f"node cell [ast]"))
+        for ch in cursor.get_children():
+            if ch.location.file and ch.location.file.name == path:
+                visit(ch)
+
+    try:
+        visit(tu.cursor)
+    except Exception:
+        return None
+    return findings

@@ -1,0 +1,47 @@
+// lfrc_lint fixture — R1 violations: raw atomic traffic on shared node
+// cells, cell unwrapping, and exclusive access during concurrent phases.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+template <typename P>
+struct leaky_cell_node : P::template node_base<leaky_cell_node<P>> {
+    std::atomic<leaky_cell_node<P>*> down{nullptr};  // lint-expect: R1
+    typename P::template link<leaky_cell_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Raw atomic ops through the rogue member bypass every count/guard.
+template <typename P>
+inline leaky_cell_node<P>* walk_down(leaky_cell_node<P>* n) {
+    return n->down.load(std::memory_order_acquire);  // lint-expect: R1
+}
+
+template <typename P>
+inline void splice_down(leaky_cell_node<P>* n, leaky_cell_node<P>* d) {
+    n->down.store(d, std::memory_order_release);  // lint-expect: R1
+}
+
+/// Unwrapping a policy field's cell re-creates the raw-access hole the
+/// field types exist to close.
+template <typename P>
+inline void poke_cell(typename P::template link<leaky_cell_node<P>>& l) {
+    l.cell();  // lint-expect: R1
+}
+
+/// exclusive_get is a single-owner-phase op; this accessor runs during
+/// normal concurrent operation and is not annotated quiescent.
+template <typename P>
+inline leaky_cell_node<P>* sneak_read(typename P::template link<leaky_cell_node<P>>& l) {
+    return l.exclusive_get();  // lint-expect: R1
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// lfrc_lint fixture — R1 clean: every shared-pointer access goes through
+// the policy seam (guard protect, peek, cas_link). No raw atomics, no cell
+// unwrapping, no exclusive access outside sanctioned phases.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct good_node : P::template node_base<good_node<P>> {
+    typename P::template link<good_node> next;
+    typename P::flag dead;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Protected read whose result is consumed strictly inside the guard scope.
+template <typename P>
+inline int top_value(P& policy, typename P::template link<good_node<P>>& head) {
+    typename P::guard g(policy);
+    good_node<P>* h = g.protect(0, head);
+    if (h == nullptr) return -1;
+    int v = h->value;
+    g.clear(0);
+    return v;
+}
+
+/// peek() results feed CAS expected-values only — never dereferenced.
+template <typename P>
+inline bool push_front(P& policy, typename P::template link<good_node<P>>& head,
+                       typename P::template owner<good_node<P>>& fresh) {
+    typename P::guard g(policy);
+    g.protect_new(0, fresh.get());
+    good_node<P>* h = g.protect(1, head);
+    policy.init_link(fresh.get()->next, h);
+    if (policy.cas_link(head, h, fresh.get())) {
+        policy.publish_ok(fresh);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// lfrc_lint fixture — the Valois trap as a must-flag mutant.
+//
+// Valois' corrected stack (and the repo's src/containers/valois_stack.hpp
+// baseline) keeps nodes OUTSIDE any reclamation discipline: raw atomics on
+// a type the policy layer never manages, which is fine — R1 is scoped to
+// managed nodes. This mutant is the broken hybrid the paper's Section-3
+// preconditions exist to outlaw: a node_base-derived (policy-managed!)
+// node whose links are raw std::atomic cells mutated with plain load/
+// store/CAS, so reference counts silently stop tracking the structure.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct valois_mutant_node : node_base<valois_mutant_node> {
+    std::atomic<valois_mutant_node*> next{nullptr};  // lint-expect: R1
+    int value = 0;
+};
+
+inline void push_plain_cas(std::atomic<valois_mutant_node*>& head,
+                           valois_mutant_node* n) {
+    valois_mutant_node* h = head.load(std::memory_order_acquire);
+    do {
+        n->next.store(h, std::memory_order_relaxed);  // lint-expect: R1
+    } while (!head.compare_exchange_weak(h, n, std::memory_order_release));
+}
+
+inline valois_mutant_node* pop_plain_cas(std::atomic<valois_mutant_node*>& head) {
+    valois_mutant_node* h = head.load(std::memory_order_acquire);
+    while (h != nullptr) {
+        valois_mutant_node* n = h->next.load(std::memory_order_acquire);  // lint-expect: R1
+        if (head.compare_exchange_weak(h, n, std::memory_order_acq_rel)) break;
+    }
+    return h;
+}
+
+}  // namespace fixture

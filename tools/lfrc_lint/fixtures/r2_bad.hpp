@@ -1,0 +1,35 @@
+// lfrc_lint fixture — R2 violations: pointers protected by a function-local
+// guard escaping via return and via member store. The guard dies at `}`;
+// both escapes hand out a pointer with no protection behind it.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2_bad_node : P::template node_base<r2_bad_node<P>> {
+    typename P::template link<r2_bad_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+class top_cache {
+  public:
+    r2_bad_node<P>* remember_top(P& policy,
+                                 typename P::template link<r2_bad_node<P>>& head) {
+        typename P::guard g(policy);
+        r2_bad_node<P>* h = g.protect(0, head);
+        last_ = h;  // lint-expect: R2
+        return h;   // lint-expect: R2
+    }
+
+  private:
+    r2_bad_node<P>* last_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// lfrc_lint fixture — R2 clean: protected pointers stay inside their
+// guard's scope, or the guard is caller-owned, or the escape is upgraded.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2_node : P::template node_base<r2_node<P>> {
+    typename P::template link<r2_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Caller owns the guard: returning the protected pointer is fine because
+/// the protection outlives this frame.
+template <typename P>
+inline r2_node<P>* find_top(typename P::guard& g,
+                            typename P::template link<r2_node<P>>& head) {
+    r2_node<P>* h = g.protect(0, head);
+    return h;
+}
+
+/// Local guard, value consumed in scope — the pointer never escapes.
+template <typename P>
+inline int sum_two(P& policy, typename P::template link<r2_node<P>>& head) {
+    typename P::guard g(policy);
+    r2_node<P>* a = g.protect(0, head);
+    if (a == nullptr) return 0;
+    r2_node<P>* b = g.traverse(1, a->next);
+    if (b == nullptr || !g.upgrade(1)) return a->value;
+    return a->value + b->value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// lfrc_lint fixture — R3 violations: retiring on the CAS loser path and
+// retiring unconditionally after a non-diverging loser branch. Either way
+// a node can be handed to the reclaimer by a thread that did NOT unlink
+// it — the double-retire the paper's Clean/Decrement accounting forbids.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r3_bad_node : P::template node_base<r3_bad_node<P>> {
+    typename P::template link<r3_bad_node> next;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+inline void pop_retire_loser(P& policy,
+                             typename P::template link<r3_bad_node<P>>& head) {
+    typename P::guard g(policy);
+    r3_bad_node<P>* h = g.protect(0, head);
+    if (h == nullptr) return;
+    r3_bad_node<P>* n = policy.peek(h->next);
+    if (!policy.cas_link(head, h, n)) {
+        policy.retire_unlinked(h);  // lint-expect: R3
+    }
+}
+
+template <typename P>
+inline void pop_retire_unconditional(P& policy,
+                                     typename P::template link<r3_bad_node<P>>& head) {
+    typename P::guard g(policy);
+    r3_bad_node<P>* h = g.protect(0, head);
+    if (h == nullptr) return;
+    r3_bad_node<P>* n = policy.peek(h->next);
+    if (!policy.cas_link(head, h, n)) {
+        n = nullptr;  // loser falls through instead of diverging
+    }
+    policy.retire_unlinked(h);  // lint-expect: R3
+}
+
+}  // namespace fixture

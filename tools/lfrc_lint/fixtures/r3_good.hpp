@@ -1,0 +1,55 @@
+// lfrc_lint fixture — R3 clean: every retire_unlinked is dominated by a
+// successful unlink CAS/DCAS (positive guard or diverging loser branch),
+// or carries a reviewed unlink-winner annotation.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r3_node : P::template node_base<r3_node<P>> {
+    typename P::template link<r3_node> next;
+    typename P::flag dead;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Positive guard: only the CAS winner reaches the retire.
+template <typename P>
+inline bool pop_guarded(P& policy, typename P::template link<r3_node<P>>& head) {
+    typename P::guard g(policy);
+    r3_node<P>* h = g.protect(0, head);
+    if (h == nullptr) return false;
+    r3_node<P>* n = policy.peek(h->next);
+    if (policy.cas_link(head, h, n)) {
+        policy.retire_unlinked(h);
+        return true;
+    }
+    return false;
+}
+
+/// Fall-through guard: the loser branch diverges, so straight-line code
+/// after it is the winner path.
+template <typename P>
+inline bool unlink_fallthrough(P& policy,
+                               typename P::template link<r3_node<P>>& pred_link,
+                               r3_node<P>* curr, r3_node<P>* succ) {
+    if (!policy.dcas_link_flag(pred_link, curr->dead, curr, succ, true, true)) {
+        return false;
+    }
+    policy.retire_unlinked(curr);
+    return true;
+}
+
+/// The escape hatch: the claim happened through another primitive the
+/// structural check cannot see, reviewed and annotated.
+template <typename P>
+inline void retire_claimed(P& policy, r3_node<P>* claimed) {
+    // lfrc-lint: unlink-winner
+    policy.retire_unlinked(claimed);
+}
+
+}  // namespace fixture

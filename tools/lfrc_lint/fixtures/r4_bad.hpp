@@ -1,0 +1,30 @@
+// lfrc_lint fixture — R4 violations: direct new/delete of a policy-managed
+// node type. `new` skips the owner protocol (no birth count, no hp
+// announce, no gc root), `delete` frees behind every other thread's back.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r4_bad_node : P::template node_base<r4_bad_node<P>> {
+    typename P::template link<r4_bad_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+inline r4_bad_node<P>* make_raw() {
+    return new r4_bad_node<P>();  // lint-expect: R4
+}
+
+template <typename P>
+inline void free_raw(r4_bad_node<P>* n) {
+    delete n;  // lint-expect: R4
+}
+
+}  // namespace fixture

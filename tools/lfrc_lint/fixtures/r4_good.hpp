@@ -1,0 +1,45 @@
+// lfrc_lint fixture — R4 clean: allocation through make_owner/publish_ok,
+// reclamation through retire_unlinked; the only `delete` lives inside the
+// policy contract's smr_dispose teardown hook (satellite allocations the
+// chain walk cannot see).
+#pragma once
+
+namespace fixture {
+
+struct r4_payload {
+    int bytes[4];
+};
+
+template <typename P>
+struct r4_good_node : P::template node_base<r4_good_node<P>> {
+    typename P::template link<r4_good_node> next;
+    typename P::template vslot<r4_payload> val;
+
+    static constexpr std::size_t smr_link_count = 2;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+        f(val);
+    }
+
+    void smr_dispose() {
+        delete val.exclusive_get();
+    }
+};
+
+template <typename P>
+inline bool push_owned(P& policy,
+                       typename P::template link<r4_good_node<P>>& head) {
+    typename P::guard g(policy);
+    auto fresh = policy.template make_owner<r4_good_node<P>>();
+    g.protect_new(0, fresh.get());
+    r4_good_node<P>* h = g.protect(1, head);
+    policy.init_link(fresh.get()->next, h);
+    if (policy.cas_link(head, h, fresh.get())) {
+        policy.publish_ok(fresh);
+        return true;
+    }
+    return false;
+}
+
+}  // namespace fixture

@@ -1,0 +1,70 @@
+// lfrc_lint fixture — R5 violations: incomplete enumerations, traced
+// flags, and a stale/missing smr_link_count mirror. A missing child means
+// the counted unravel never decrements it (leak) and the gc never marks
+// it (premature free); a traced flag hands a non-pointer cell to tracing.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r5_missing_child : P::template node_base<r5_missing_child<P>> {
+    typename P::template link<r5_missing_child> next;
+    typename P::template link<r5_missing_child> down;  // lint-expect: R5
+
+    static constexpr std::size_t smr_link_count = 2;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+struct r5_traced_flag : P::template node_base<r5_traced_flag<P>> {
+    typename P::template link<r5_traced_flag> next;
+    typename P::flag dead;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {  // lint-expect: R5
+        f(next);
+        f(dead);
+    }
+};
+
+template <typename P>
+struct r5_stale_count : P::template node_base<r5_stale_count<P>> {
+    typename P::template link<r5_stale_count> next;
+
+    static constexpr std::size_t smr_link_count = 2;  // lint-expect: R5
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+struct r5_no_count : P::template node_base<r5_no_count<P>> {  // lint-expect: R5
+    typename P::template link<r5_no_count> next;
+
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+struct r5_no_enumeration : P::template node_base<r5_no_enumeration<P>> {  // lint-expect: R5
+    typename P::template link<r5_no_enumeration> next;
+};
+
+template <typename D>
+struct r5_paper_missing : D::object {
+    typename D::template ptr_field<r5_paper_missing> left;
+    typename D::template ptr_field<r5_paper_missing> right;  // lint-expect: R5
+
+    void lfrc_visit_children(typename D::child_visitor& v) noexcept {
+        v.on_child(left.exclusive_get());
+    }
+};
+
+}  // namespace fixture

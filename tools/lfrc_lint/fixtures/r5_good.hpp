@@ -1,0 +1,39 @@
+// lfrc_lint fixture — R5 clean: both enumeration forms, complete and
+// correctly mirrored.
+#pragma once
+
+namespace fixture {
+
+/// Policy-seam form: smr_children functor + smr_link_count mirror.
+template <typename P>
+struct r5_good_node : P::template node_base<r5_good_node<P>> {
+    typename P::template link<r5_good_node> next;
+    typename P::template link<r5_good_node> down;
+    typename P::template vslot<int> val;
+    typename P::flag dead;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 3;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+        f(down);
+        f(val);
+    }
+};
+
+/// Paper-API form (snark level): lfrc_visit_children visitor over the
+/// domain's ptr_fields; no smr_link_count required at this layer.
+template <typename D>
+struct r5_paper_node : D::object {
+    typename D::template ptr_field<r5_paper_node> left;
+    typename D::template ptr_field<r5_paper_node> right;
+    int value = 0;
+
+    void lfrc_visit_children(typename D::child_visitor& v) noexcept {
+        v.on_child(left.exclusive_get());
+        v.on_child(right.exclusive_get());
+    }
+};
+
+}  // namespace fixture

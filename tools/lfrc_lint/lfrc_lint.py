@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""lfrc_lint — static LFRC-compliance checker for this repository.
+
+The paper's transformation (GC-dependent lock-free structure -> LFRC) is
+only sound for *LFRC-compliant* code: shared pointers touched exclusively
+through the load/store/copy/destroy/CAS/DCAS operation set, which this
+repo expresses as the lfrc::smr policy/guard seam. This tool mechanically
+enforces that discipline over client code (containers, store, snark,
+fixtures):
+
+  R1  no raw read/write/CAS on shared node pointer cells — all access via
+      policy link/guard operations
+  R2  guard discipline: protect/traverse results must not escape their
+      guard's scope (return / member store) without an upgrade
+  R3  retire-once: retire_unlinked only from unlink-winner branches
+      (structurally dominated by a successful CAS/DCAS, or annotated)
+  R4  no direct new/delete of policy-managed node types (owner/make_owner
+      and reset_chain/smr_dispose own allocation and teardown)
+  R5  smr_children completeness: every link/vslot member enumerated, flags
+      never enumerated, smr_link_count consistent (the compile-time trait
+      smr::detail::children_cover_all_links_v mirrors this in-template)
+
+Frontends: libclang over compile_commands.json when the toolchain provides
+python bindings (R1 type resolution on the real AST); a self-contained
+lexer/block-tree fallback otherwise, so the check ALWAYS runs.
+
+Usage:
+  lfrc_lint.py --root REPO [PATHS...]       lint paths (default: src)
+  lfrc_lint.py --root REPO --self-test      run the fixture corpus
+  lfrc_lint.py --list-rules
+Exit codes: 0 clean, 1 findings (or fixture expectation mismatch), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import clang_frontend  # noqa: E402
+from cpp_model import SourceModel  # noqa: E402
+from rules import RULES, Finding, run_rules  # noqa: E402
+
+CXX_EXTS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+
+RULE_DOC = {
+    "R1": "no raw atomic access to shared node cells outside policy internals",
+    "R2": "guard-protected pointers must not escape the guard's scope",
+    "R3": "retire_unlinked only from unlink-winner (success-dominated) branches",
+    "R4": "no direct new/delete of policy-managed node types",
+    "R5": "smr_children enumerates exactly the link/vslot members (+ smr_link_count)",
+}
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+        elif os.path.isdir(ap):
+            for dirpath, dirnames, filenames in os.walk(ap):
+                dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+                for f in sorted(filenames):
+                    if f.endswith(CXX_EXTS):
+                        files.append(os.path.join(dirpath, f))
+        else:
+            print(f"lfrc_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def lint_file(root: str, path: str, use_clang: bool,
+              compdb_dir: str | None) -> list[Finding]:
+    relpath = os.path.relpath(path, root)
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        text = fh.read()
+    model = SourceModel(relpath, text)
+    rules = RULES
+    findings: list[Finding] = []
+    if use_clang and compdb_dir:
+        ast_r1 = clang_frontend.check_r1_ast(path, relpath, compdb_dir)
+        if ast_r1 is not None:
+            findings.extend(ast_r1)
+            rules = tuple(r for r in RULES if r != "R1")
+    findings.extend(run_rules(model, relpath, rules))
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def self_test(root: str, use_clang: bool, compdb_dir: str | None) -> int:
+    """Fixture corpus: every `lint-expect: Rn` marker in a fixture must be
+    matched by a finding of that rule within 2 lines, every finding must be
+    claimed by a marker, and *_good fixtures must be perfectly clean."""
+    fixtures_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "fixtures")
+    files = collect_files(fixtures_dir, ["."])
+    if not files:
+        print("lfrc_lint: no fixtures found", file=sys.stderr)
+        return 1
+    failures = 0
+    checked = 0
+    flagged = 0
+    for path in sorted(files):
+        relpath = os.path.relpath(path, root)
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        model = SourceModel(relpath, text)
+        findings = lint_file(root, path, use_clang, compdb_dir)
+        expected = []  # (line, rule)
+        for line, rls in sorted(model.expectations.items()):
+            expected.extend((line, r) for r in rls)
+        unmatched_exp = list(expected)
+        unclaimed = []
+        for f in findings:
+            hit = None
+            for e in unmatched_exp:
+                if e[1] == f.rule and abs(e[0] - f.line) <= 2:
+                    hit = e
+                    break
+            if hit is not None:
+                unmatched_exp.remove(hit)
+            else:
+                unclaimed.append(f)
+        checked += 1
+        flagged += len(expected) - len(unmatched_exp)
+        name = os.path.basename(path)
+        if unmatched_exp or unclaimed:
+            failures += 1
+            print(f"FIXTURE FAIL {name}")
+            for line, rule in unmatched_exp:
+                print(f"  expected {rule} near {relpath}:{line} — not flagged")
+            for f in unclaimed:
+                print(f"  unexpected: {f.render()}")
+        else:
+            verdict = "flags" if expected else "clean"
+            print(f"fixture ok   {name:40s} "
+                  f"({verdict} {len(expected) or ''}".rstrip() + ")")
+    print(f"\nself-test: {checked} fixtures, {flagged} seeded violations "
+          f"flagged, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="lfrc_lint", add_help=True)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/dirs relative to --root (default: src)")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture corpus instead of linting paths")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--frontend", choices=("auto", "clang", "fallback"),
+                    default="auto")
+    ap.add_argument("--compdb", default=None,
+                    help="directory containing compile_commands.json "
+                         "(default: <root>/build if present)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(f"{r}  {RULE_DOC[r]}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    compdb_dir = args.compdb
+    if compdb_dir is None:
+        cand = os.path.join(root, "build")
+        if os.path.isfile(os.path.join(cand, "compile_commands.json")):
+            compdb_dir = cand
+
+    if args.frontend == "clang" and not clang_frontend.available():
+        print("lfrc_lint: --frontend=clang requested but python libclang "
+              "bindings are unavailable", file=sys.stderr)
+        return 2
+    use_clang = args.frontend != "fallback" and clang_frontend.available()
+    frontend = "libclang" if (use_clang and compdb_dir) else "fallback parser"
+
+    if args.self_test:
+        print(f"lfrc_lint self-test (frontend: {frontend})")
+        return self_test(root, use_clang, compdb_dir)
+
+    paths = args.paths or ["src"]
+    files = collect_files(root, paths)
+    all_findings: list[Finding] = []
+    for path in files:
+        all_findings.extend(lint_file(root, path, use_clang, compdb_dir))
+    for f in all_findings:
+        print(f.render())
+    tag = "clean" if not all_findings else f"{len(all_findings)} finding(s)"
+    print(f"lfrc_lint: {len(files)} file(s), {tag} (frontend: {frontend})")
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

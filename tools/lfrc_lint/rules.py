@@ -1,0 +1,449 @@
+"""lfrc_lint rules R1-R5: the paper's Section-3 LFRC-compliance
+preconditions, as mechanical checks over a SourceModel.
+
+Scope model
+-----------
+The LFRC/SMR seam splits the tree into two zones:
+
+  policy internals   src/smr, src/dcas + the machinery they are built on
+                     (src/lfrc, src/reclaim, src/gc, src/alloc, src/sim,
+                     src/util). Raw cells, atomics and new/delete are the
+                     *implementation* of the discipline here.
+  client code        src/containers, src/store, src/snark, examples and
+                     the fixture corpus. Every shared-pointer access must
+                     go through policy/guard operations (the paper's
+                     load/store/copy/destroy/CAS/DCAS set); rules R1-R5
+                     enforce exactly that.
+
+Escape hatches are explicit and greppable:
+  // lfrc-lint: unlink-winner      R3 — call site IS the unlink winner
+  // lfrc-lint: escape-ok          R2 — pointer escape reviewed by hand
+  // lfrc-lint: quiescent          R1 — exclusive-access phase (ctor/dtor/
+                                   single-owner accessor)
+  // lfrc-lint: exempt(Rn)         any rule, with the rule named
+Each hatch suppresses one line; none are wildcards over a file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from cpp_model import Block, ClassInfo, SourceModel
+
+POLICY_INTERNAL_DIRS = (
+    "src/smr/", "src/dcas/", "src/lfrc/", "src/reclaim/",
+    "src/gc/", "src/alloc/", "src/sim/", "src/util/",
+)
+
+RULES = ("R1", "R2", "R3", "R4", "R5")
+
+LINK_TYPE_RE = re.compile(r"(?:\b|::)(link|ptr_field|cell_link)\s*<")
+VSLOT_TYPE_RE = re.compile(r"(?:\b|::)(vslot|ll_field|cell_vslot)\s*<")
+FLAG_TYPE_RE = re.compile(r"(?:\b|::)(flag|flag_field|cell_flag)\b")
+ATOMIC_PTR_RE = re.compile(r"std\s*::\s*atomic\s*<[^;{}()]*\*")
+NODE_BASE_RE = re.compile(r"\bnode_base\s*<")
+
+ATOMIC_OP_RE = re.compile(
+    r"([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*(?:\.|->)\s*"
+    r"(load|store|exchange|compare_exchange_weak|compare_exchange_strong|"
+    r"fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor)\s*\("
+)
+RAW_CELL_RE = re.compile(r"(?:\.|->)\s*(raw|cell|ptr_cell|version_cell)\s*\(\s*\)")
+EXCLUSIVE_RE = re.compile(r"(?:\.|->)\s*(exclusive_get|exclusive_set)\s*\(")
+
+CAS_OP_NAMES = ("dcas_link_flag", "cas_link", "flag_cas")
+CAS_OP_RE = re.compile(r"\b(dcas_link_flag|cas_link|flag_cas)\s*\(")
+NEG_CAS_HEAD_RE = re.compile(
+    r"if\s*\(\s*!\s*[\w.\->]*\s*(?:\.|->)?\s*(dcas_link_flag|cas_link|flag_cas)\b"
+)
+POS_CAS_HEAD_RE = re.compile(
+    r"if\s*\((?![^)]*!\s*[\w.\->]*(dcas_link_flag|cas_link|flag_cas))"
+    r"[^)]*\b(dcas_link_flag|cas_link|flag_cas)\s*\("
+)
+DIVERGE_RE = re.compile(r"\b(goto|continue|return|break|throw)\b")
+
+GUARD_DECL_RE = re.compile(r"\bguard\b\s+([A-Za-z_]\w*)\s*[({]")
+GUARD_PARAM_RE = re.compile(r"\bguard\s*&\s*([A-Za-z_]\w*)")
+PROTECT_CALL = ("protect", "traverse", "vprotect", "vtraverse")
+
+NEW_EXPR_RE = re.compile(r"(?<![:\w])new\b(?!\s*\()")
+DELETE_EXPR_RE = re.compile(r"(?<![:\w])delete\b")
+
+SMR_LINK_COUNT_RE = re.compile(
+    r"\bsmr_link_count\s*=\s*(\d+)"
+)
+FCALL_RE = re.compile(r"(?<![\w.>])%s\s*\(\s*(?:[\w.\->]*?(?:\.|->))?([A-Za-z_]\w*)\s*\)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_policy_internal(relpath: str) -> bool:
+    p = relpath.replace("\\", "/")
+    return any(p.startswith(d) or f"/{d}" in p for d in POLICY_INTERNAL_DIRS)
+
+
+def is_managed_node(ci: ClassInfo) -> bool:
+    """A node class whose shared fields the policy layer owns: it derives
+    from a policy node_base (or the counted Domain::object) or enumerates
+    smr_children."""
+    if NODE_BASE_RE.search(ci.bases or ""):
+        return True
+    if re.search(r"::object\b|counted_base\b", ci.bases or ""):
+        return True
+    return "smr_children" in ci.methods
+
+
+def link_members(ci: ClassInfo):
+    links, vslots = [], []
+    for m in ci.members:
+        if LINK_TYPE_RE.search(m.type_text):
+            links.append(m)
+        elif VSLOT_TYPE_RE.search(m.type_text):
+            vslots.append(m)
+    return links, vslots
+
+
+class RuleContext:
+    def __init__(self, model: SourceModel, relpath: str):
+        self.model = model
+        self.relpath = relpath
+        self.findings: list[Finding] = []
+        self.managed = [c for c in model.classes if is_managed_node(c)]
+        # Member names through which shared pointers flow (R1's cell set).
+        self.link_member_names: set[str] = set()
+        for ci in self.managed:
+            ls, vs = link_members(ci)
+            self.link_member_names.update(m.name for m in ls)
+            self.link_member_names.update(m.name for m in vs)
+            for m in ci.members:
+                if ATOMIC_PTR_RE.search(m.type_text):
+                    self.link_member_names.add(m.name)
+
+    def report(self, rule: str, off_or_line: int, message: str, *, is_line=False):
+        line = off_or_line if is_line else self.model.line_of(off_or_line)
+        if self.model.exempt(line, rule):
+            return
+        self.findings.append(Finding(rule, self.relpath, line, message))
+
+
+# ---- R1: no raw atomic access to shared node cells -----------------------
+
+def check_r1(ctx: RuleContext):
+    model = ctx.model
+    if is_policy_internal(ctx.relpath):
+        return
+
+    # (a) managed node classes must use policy field types, not raw atomics.
+    for ci in ctx.managed:
+        for m in ci.members:
+            if ATOMIC_PTR_RE.search(m.type_text):
+                ctx.report(
+                    "R1", m.line,
+                    f"managed node '{ci.name}' declares raw atomic pointer "
+                    f"cell '{m.name}' ({m.type_text}); shared links must be "
+                    f"policy link/vslot fields so every access routes "
+                    f"through load/store/CAS/DCAS", is_line=True)
+
+    # (b) no direct atomic op through a link-typed / atomic-ptr member.
+    for m in ATOMIC_OP_RE.finditer(model.stripped):
+        recv, op = m.group(1), m.group(2)
+        segs = re.split(r"\s*(?:\.|->)\s*", recv)
+        if segs and segs[-1] in ctx.link_member_names:
+            line = model.line_of(m.start())
+            if model.annotated(line, "quiescent"):
+                continue
+            ctx.report(
+                "R1", m.start(),
+                f"raw atomic {op}() on shared link '{recv}' — use the "
+                f"policy's guard/protect and cas_link/dcas_link_flag ops")
+
+    # (c) reaching under a policy field for its cell is the same violation.
+    for m in RAW_CELL_RE.finditer(model.stripped):
+        line = model.line_of(m.start())
+        if model.annotated(line, "quiescent"):
+            continue
+        ctx.report(
+            "R1", m.start(),
+            f".{m.group(1)}() unwraps a policy field's raw cell outside "
+            f"policy internals")
+
+    # (d) exclusive_get/exclusive_set are single-owner-phase ops: allowed
+    # only in ctors/dtors, smr_dispose, tracing adapters, or annotated
+    # quiescent accessors.
+    for m in EXCLUSIVE_RE.finditer(model.stripped):
+        line = model.line_of(m.start())
+        if model.annotated(line, "quiescent"):
+            continue
+        fn = model.enclosing_function(m.start())
+        fname = ""
+        if fn is not None:
+            nm = re.search(r"([~A-Za-z_]\w*)\s*\(", fn.header)
+            fname = nm.group(1) if nm else ""
+        if fname in ("smr_dispose", "lfrc_visit_children", "gc_trace",
+                     "reset_chain") or fname.startswith("~"):
+            continue
+        ctx.report(
+            "R1", m.start(),
+            f"{m.group(1)}() outside an exclusive-access phase (annotate "
+            f"'lfrc-lint: quiescent' if single-owner access is proven)")
+
+
+# ---- R2: protected pointers must not escape their guard ------------------
+
+def check_r2(ctx: RuleContext):
+    model = ctx.model
+    if is_policy_internal(ctx.relpath):
+        return
+
+    def scan_function(fn: Block):
+        body = model.block_text(fn)
+        base = fn.open_off + 1
+        local_guards = set()
+        for g in GUARD_DECL_RE.finditer(body):
+            # `guard& g` in the header is a caller-owned guard, not local.
+            local_guards.add(g.group(1))
+        param_guards = {g.group(1) for g in GUARD_PARAM_RE.finditer(fn.header)}
+        local_guards -= param_guards
+        if not local_guards:
+            return
+
+        tainted: set[str] = set()
+        for g in sorted(local_guards):
+            gcall = re.compile(
+                r"\b([A-Za-z_]\w*)\s*=[^=;]*\b" + re.escape(g) +
+                r"\s*\.\s*(?:%s)\b" % "|".join(PROTECT_CALL))
+            garg = re.compile(
+                r"\b([A-Za-z_]\w*)\s*=[^=;]*\([^;]*\b" + re.escape(g) +
+                r"\b\s*[,)]")
+            binding = re.compile(
+                r"auto\s*\[([^\]]+)\]\s*=[^;]*\b" + re.escape(g) + r"\b")
+            for m in gcall.finditer(body):
+                tainted.add(m.group(1))
+            for m in garg.finditer(body):
+                tainted.add(m.group(1))
+            for m in binding.finditer(body):
+                tainted.update(x.strip() for x in m.group(1).split(","))
+
+        for var in sorted(tainted):
+            for m in re.finditer(r"\breturn\s+" + re.escape(var) + r"\s*;",
+                                 body):
+                line = model.line_of(base + m.start())
+                if model.annotated(line, "escape-ok"):
+                    continue
+                ctx.report(
+                    "R2", base + m.start(),
+                    f"'{var}' was protected by a guard local to this "
+                    f"function and escapes via return; the protection dies "
+                    f"with the guard (upgrade to an owning reference or "
+                    f"take the guard as a parameter)")
+            store = re.compile(
+                r"([A-Za-z_]\w*(?:(?:\.|->)\w+|\[[^\]]*\])+|\b\w+_)\s*=\s*"
+                + re.escape(var) + r"\s*;")
+            for m in store.finditer(body):
+                lhs = m.group(1)
+                if lhs in tainted:
+                    continue  # pointer-walk within the guard scope
+                line = model.line_of(base + m.start())
+                if model.annotated(line, "escape-ok"):
+                    continue
+                ctx.report(
+                    "R2", base + m.start(),
+                    f"guard-protected '{var}' stored to '{lhs}', outliving "
+                    f"its guard scope (escape requires an upgrade to an "
+                    f"owning/counted reference)")
+
+    def visit(blk: Block):
+        for ch in blk.children:
+            if model.is_function_block(ch):
+                scan_function(ch)
+            visit(ch)
+
+    visit(model.root)
+
+
+# ---- R3: retire_unlinked only from unlink-winner branches ----------------
+
+def _success_dominated(model: SourceModel, off: int) -> bool:
+    """True when the call at `off` is dominated by a successful unlink:
+    either an ancestor `if (<cas op>(...))` (direct positive guard) or a
+    preceding sibling `if (!<cas op>(...)) { <diverge> }` in the same
+    block (fall-through guard)."""
+    blk = model.enclosing_block(off)
+    # direct positive guard on any ancestor-or-self header within function
+    b: Block | None = blk
+    while b is not None and b.header != "<file>":
+        if POS_CAS_HEAD_RE.search(b.header or ""):
+            return True
+        if model.is_function_block(b):
+            break
+        b = b.parent
+    # fall-through: a diverging negated-cas `if` earlier in the same block
+    for ch in blk.children:
+        if ch.close_off >= off:
+            break
+        if NEG_CAS_HEAD_RE.search(ch.header or ""):
+            if DIVERGE_RE.search(model.block_text(ch)):
+                return True
+    return False
+
+
+def check_r3(ctx: RuleContext):
+    model = ctx.model
+    if is_policy_internal(ctx.relpath):
+        return
+    for m in re.finditer(r"\bretire_unlinked\s*\(", model.stripped):
+        # skip declarations/definitions of the op itself
+        head = model.stripped[max(0, m.start() - 60):m.start()]
+        if re.search(r"\bvoid\s+$", head):
+            continue
+        line = model.line_of(m.start())
+        if model.annotated(line, "unlink-winner"):
+            continue
+        if _success_dominated(model, m.start()):
+            continue
+        ctx.report(
+            "R3", m.start(),
+            "retire_unlinked() call site is not dominated by a successful "
+            "unlink CAS/DCAS — a loser branch retiring means double retire "
+            "(annotate '// lfrc-lint: unlink-winner' only with a proof)")
+
+
+# ---- R4: no new/delete of node types outside owner/policy ----------------
+
+def check_r4(ctx: RuleContext):
+    model = ctx.model
+    if is_policy_internal(ctx.relpath):
+        return
+    if not ctx.managed:
+        return  # no policy-managed nodes here: plain-heap code is out of scope
+    for regex, what in ((NEW_EXPR_RE, "new"), (DELETE_EXPR_RE, "delete")):
+        for m in regex.finditer(model.stripped):
+            if what == "delete":
+                before = model.stripped[:m.start()].rstrip()
+                if before.endswith("="):
+                    continue  # `= delete` declaration syntax
+            line = model.line_of(m.start())
+            fn = model.enclosing_function(m.start())
+            fname = ""
+            if fn is not None:
+                nm = re.search(r"([~A-Za-z_]\w*)\s*\(", fn.header)
+                fname = nm.group(1) if nm else ""
+            if fname == "smr_dispose":
+                continue  # the policy contract's sanctioned teardown hook
+            ctx.report(
+                "R4", m.start(),
+                f"direct {what} in node-managing code — allocation must go "
+                f"through policy make_owner/publish_ok and reclamation "
+                f"through retire_unlinked/reset_chain")
+
+
+# ---- R5: smr_children completeness ---------------------------------------
+
+def check_r5(ctx: RuleContext):
+    model = ctx.model
+    for ci in ctx.managed:
+        links, vslots = link_members(ci)
+        pointer_members = links + vslots
+        has_children = "smr_children" in ci.methods
+
+        # Paper-API nodes (snark level) enumerate via the visitor form
+        # `lfrc_visit_children(V&) { v.on_child(member.exclusive_get()); }`
+        # instead of the functor form. Treat it as the enumeration; the
+        # smr_link_count mirror is a policy-seam concept and not required.
+        if not has_children and "lfrc_visit_children" in ci.methods:
+            vblk = ci.methods["lfrc_visit_children"]
+            vbody = model.block_text(vblk)
+            enumerated = set()
+            for m in re.finditer(
+                    r"\bon_child\s*\(\s*(?:[\w.\->]*?(?:\.|->))?"
+                    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*exclusive_get\s*\(",
+                    vbody):
+                enumerated.add(m.group(1))
+            for m in pointer_members:
+                if m.name not in enumerated:
+                    ctx.report(
+                        "R5", m.line,
+                        f"pointer member '{ci.name}::{m.name}' is missing "
+                        f"from lfrc_visit_children — the counted unravel "
+                        f"will never visit it (leak / lost child)",
+                        is_line=True)
+            continue
+
+        if not has_children:
+            if pointer_members:
+                ctx.report(
+                    "R5", ci.line,
+                    f"node '{ci.name}' has pointer-bearing fields "
+                    f"({', '.join(m.name for m in pointer_members)}) but no "
+                    f"smr_children enumeration — tracing policies cannot "
+                    f"see its children", is_line=True)
+            continue
+
+        blk = ci.methods["smr_children"]
+        fm = re.search(r"\(\s*[\w:<>&\s]*?([A-Za-z_]\w*)\s*\)\s*$",
+                       blk.header[:blk.header.rfind(")") + 1])
+        functor = fm.group(1) if fm else "f"
+        body = model.block_text(blk)
+        enumerated = set()
+        for m in re.finditer(FCALL_RE.pattern % re.escape(functor), body):
+            enumerated.add(m.group(1))
+
+        member_names = {m.name for m in pointer_members}
+        for m in pointer_members:
+            if m.name not in enumerated:
+                ctx.report(
+                    "R5", m.line,
+                    f"pointer member '{ci.name}::{m.name}' is missing from "
+                    f"smr_children — counted unravel and gc tracing will "
+                    f"never visit it (leak / lost child)", is_line=True)
+        for name in sorted(enumerated - member_names):
+            flagish = any(m.name == name and FLAG_TYPE_RE.search(m.type_text)
+                          for m in ci.members)
+            msg = (f"smr_children of '{ci.name}' enumerates '{name}', which "
+                   + ("is a flag field (flags hold no pointer and must not "
+                      "be traced)" if flagish else
+                      "is not a link/vslot member of the class"))
+            ctx.report("R5", model.line_of(blk.open_off), msg, is_line=True)
+
+        # The compile-time mirror: smr_link_count feeds
+        # smr::detail::children_cover_all_links_v, so it must exist and
+        # match the source-level member count.
+        own = model.block_text(ci.block)
+        cm = SMR_LINK_COUNT_RE.search(own)
+        if cm is None:
+            ctx.report(
+                "R5", ci.line,
+                f"node '{ci.name}' defines smr_children but no "
+                f"'static constexpr std::size_t smr_link_count' — the "
+                f"compile-time trait children_cover_all_links_v cannot "
+                f"cross-check it", is_line=True)
+        elif int(cm.group(1)) != len(pointer_members):
+            ctx.report(
+                "R5", model.line_of(ci.block.open_off + cm.start()),
+                f"'{ci.name}::smr_link_count' is {cm.group(1)} but the class "
+                f"declares {len(pointer_members)} link/vslot member(s)",
+                is_line=True)
+
+
+ALL_CHECKS = (check_r1, check_r2, check_r3, check_r4, check_r5)
+
+
+def run_rules(model: SourceModel, relpath: str,
+              rules: tuple[str, ...] = RULES) -> list[Finding]:
+    ctx = RuleContext(model, relpath)
+    for check in ALL_CHECKS:
+        rule = check.__name__.split("_")[-1].upper()
+        if rule in rules:
+            check(ctx)
+    ctx.findings.sort(key=lambda f: (f.line, f.rule))
+    return ctx.findings

@@ -16,6 +16,9 @@
 //   ebr           epoch-based retire-on-unlink (what "the GC will
 //                 handle it" costs when the GC is an epoch scheme);
 //   hp            hazard pointers (Michael 2002);
+//   deferred      thread-local deferred RC (ABW/libsref): epoch-pinned
+//                 raw reads, link deltas in per-thread tables, review
+//                 queue for zero-detection — RC semantics at ~EBR price;
 //   leaky         never frees — the unsafe ceiling.
 //
 // (smr::gc_heap is excluded: the store's versioned value slots need the
@@ -112,6 +115,7 @@ constexpr run_fn kPolicyMatrix[] = {
     &run_store<store::kv_store_borrow_ops<domain>, domain>,
     &run_store<store::kv_store_policy_ops<smr::ebr<>>, smr::ebr<>>,
     &run_store<store::kv_store_policy_ops<smr::hp<>>, smr::hp<>>,
+    &run_store<store::kv_store_policy_ops<smr::deferred<>>, smr::deferred<>>,
     &run_store<store::kv_store_policy_ops<smr::leaky<>>, smr::leaky<>>,
 };
 

@@ -32,9 +32,18 @@ run_cell() {
 for cell in "${cells[@]}"; do
   case "$cell" in
     analysis|--analysis)
+      # Wall-clock guard: analysis is the fail-fast tier, so the mandatory
+      # checks must stay interactive (< 30 s) even as the fixture corpus and
+      # rule set grow (R2 now does a per-file helper pre-pass). The optional
+      # heavyweight analyzers below are outside this budget.
+      SECONDS=0
       run_cell analysis python3 tools/lfrc_lint/lfrc_lint.py --root . --self-test
       # The real gate: src/ must lint clean. Fails fast on any finding.
       python3 tools/lfrc_lint/lfrc_lint.py --root . src
+      if (( SECONDS >= 30 )); then
+        echo "analysis: mandatory lint took ${SECONDS}s — over the 30 s fail-fast budget" >&2
+        exit 1
+      fi
       # Heavier analyzers ride along where the host has them. The container
       # images bake in only the base toolchain, so absence is a notice,
       # not a failure — lfrc_lint above is the mandatory check.
@@ -62,7 +71,8 @@ for cell in "${cells[@]}"; do
       cmake --build build-thread
       # Runs the full suite including test_smr_conformance — every smr
       # policy's protocol races (counted DCAS, hazard announce/validate,
-      # epoch pins, GC safepoints) die here first.
+      # epoch pins, deferred's delta flush / review-queue handoff, GC
+      # safepoints) die here first.
       # The Valois comparator and its type-stable block pool read recycled
       # memory BY DESIGN — the exact hazard the paper's §2 discusses and
       # LFRC exists to avoid. TSan rightly reports those reads as races,
@@ -76,7 +86,8 @@ for cell in "${cells[@]}"; do
       run_cell asan cmake -B build-address -G Ninja -DLFRC_SANITIZE=address
       cmake --build build-address
       # Full suite including test_smr_conformance: UAF/double-free in any
-      # policy's reclamation path lands here. The smr::leaky baseline never
+      # policy's reclamation path lands here (deferred's review queue frees
+      # after a grace period — an early free is exactly an ASan hit). The smr::leaky baseline never
       # frees by design; lsan.supp suppresses exactly those allocations so
       # LSan still guards every other policy.
       LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \

@@ -44,7 +44,8 @@ fi
       "$b" --max_threads=8 --json=BENCH_e6.json
     elif [[ "$(basename "$b")" == "bench_e9_store_throughput" ]]; then
       # End-to-end store throughput baseline (BENCH_e9.json): the
-      # reclaimer-policy comparison EXPERIMENTS.md E9 tracks across PRs.
+      # reclaimer-policy comparison EXPERIMENTS.md E9 tracks across PRs —
+      # now seven columns, with smr::deferred expected within ~20% of ebr.
       "$b" --threads=1,4,8 --json=BENCH_e9.json
     else
       "$b"

@@ -53,7 +53,24 @@ std::uint64_t epoch_domain::pending() const noexcept {
     for (std::size_t s = 0; s < high; ++s) {
         total += slots_[s]->pending_delta.load(std::memory_order_acquire);
     }
-    return total > 0 ? static_cast<std::uint64_t>(total) : 0;
+    std::uint64_t sum = total > 0 ? static_cast<std::uint64_t>(total) : 0;
+    if (auto* f = aux_pending_.load(std::memory_order_acquire)) sum += f();
+    return sum;
+}
+
+bool epoch_domain::quiescent() const noexcept {
+    const std::size_t high = util::thread_registry::instance().high_water();
+    for (std::size_t s = 0; s < high; ++s) {
+        if (state_active(slots_[s]->state.load(std::memory_order_seq_cst))) return false;
+    }
+    return true;
+}
+
+void epoch_domain::register_aux(std::uint64_t (*pending_fn)() noexcept, void (*drain_fn)() noexcept,
+                                void (*clear_slot_fn)(std::size_t) noexcept) noexcept {
+    aux_pending_.store(pending_fn, std::memory_order_release);
+    aux_drain_.store(drain_fn, std::memory_order_release);
+    aux_clear_slot_.store(clear_slot_fn, std::memory_order_release);
 }
 
 epoch_domain& epoch_domain::global() {
@@ -165,6 +182,12 @@ void epoch_domain::reclaim_some(std::size_t slot, bool force) {
 }
 
 void epoch_domain::clear_slot(std::size_t s) noexcept {
+    // Flush any layered per-slot state (smr::deferred's delta table) while
+    // the slot still counts as pinned: the aux flush applies count deltas
+    // whose safety argument assumes the owner held its pin when they were
+    // recorded. The abandoned fiber never runs again, so this is the
+    // thread-exit flush it will never perform itself.
+    if (auto* f = aux_clear_slot_.load(std::memory_order_acquire)) f(s);
     slot_record& rec = *slots_[s];
     rec.depth = 0;
     rec.state.store(0, std::memory_order_release);
@@ -174,6 +197,7 @@ void epoch_domain::drain_all() {
     try_advance();
     const std::size_t high = util::thread_registry::instance().high_water();
     for (std::size_t s = 0; s < high; ++s) reclaim_some(s, /*force=*/true);
+    if (auto* f = aux_drain_.load(std::memory_order_acquire)) f();
 }
 
 }  // namespace lfrc::reclaim

@@ -89,6 +89,20 @@ class epoch_domain {
     /// this for a slot whose owner may still execute.
     void clear_slot(std::size_t s) noexcept;
 
+    /// True when no slot is currently pinned. A quiescent observation is
+    /// only meaningful to callers that already know no thread is about to
+    /// pin (teardown, joined-worker drains); it is advisory, not a fence.
+    bool quiescent() const noexcept;
+
+    /// Auxiliary reclaimer hooks. A scheme layered on this domain's epochs
+    /// (smr::deferred's review queue) registers itself once so that
+    /// pending() reflects its backlog, drain_all() drives its processing,
+    /// and clear_slot() flushes its per-slot state for abandoned fibers —
+    /// every existing drain/teardown loop then covers it with no caller
+    /// changes. Hooks must be callable from any thread.
+    void register_aux(std::uint64_t (*pending_fn)() noexcept, void (*drain_fn)() noexcept,
+                      void (*clear_slot_fn)(std::size_t) noexcept) noexcept;
+
     std::uint64_t global_epoch() const noexcept {
         return global_epoch_->load(std::memory_order_acquire);
     }
@@ -145,6 +159,11 @@ class epoch_domain {
     void release_node(retired_node* node) noexcept;
 
     util::padded<sim::instrumented_atomic<std::uint64_t>> global_epoch_{std::uint64_t{1}};
+    // Aux reclaimer hooks (register_aux). Null until a layered scheme
+    // registers; checked with a single relaxed load on the paths they touch.
+    std::atomic<std::uint64_t (*)() noexcept> aux_pending_{nullptr};
+    std::atomic<void (*)() noexcept> aux_drain_{nullptr};
+    std::atomic<void (*)(std::size_t) noexcept> aux_clear_slot_{nullptr};
     // Internal bookkeeping nodes come from an untracked pool so the hot
     // retire path performs no heap allocation and leak accounting stays
     // application-only.

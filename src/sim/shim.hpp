@@ -76,6 +76,18 @@ class atomic {
         return v_.fetch_sub(static_cast<T>(delta), std::memory_order_seq_cst);
     }
 
+    template <typename U = T>
+    T fetch_and(U mask, std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        return v_.fetch_and(static_cast<T>(mask), std::memory_order_seq_cst);
+    }
+
+    template <typename U = T>
+    T fetch_or(U mask, std::memory_order = std::memory_order_seq_cst) noexcept {
+        step();
+        return v_.fetch_or(static_cast<T>(mask), std::memory_order_seq_cst);
+    }
+
     // ---- unscheduled accessors (harness machinery only) ------------------
 
     /// Read without a scheduling step (UAF check only).

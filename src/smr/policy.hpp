@@ -13,6 +13,8 @@
 //   hp        hazard pointers (Michael 2002 announce/validate)
 //   leaky     never free — the idealized "the GC will get it" fiction
 //   gc_heap   an actual GC: the toy stop-the-world mark-sweep heap
+//   deferred  thread-local deferred RC (ABW/libsref): epoch-pinned guards,
+//             per-thread delta tables, review queue for zero-detection
 //
 // This mirrors Meyer & Wolff's observation that reclamation factors out of
 // a lock-free structure behind a guard/retire interface, and Anderson/

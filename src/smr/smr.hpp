@@ -1,7 +1,8 @@
-// Umbrella header: the smr policy contract and all six implementations.
+// Umbrella header: the smr policy contract and all seven implementations.
 #pragma once
 
 #include "smr/counted.hpp"
+#include "smr/deferred.hpp"
 #include "smr/gc_heap.hpp"
 #include "smr/manual.hpp"
 #include "smr/policy.hpp"

@@ -62,7 +62,7 @@ class SimSmrConformance : public ::testing::Test {};
 
 using SimPolicies =
     ::testing::Types<smr::counted<ideal_dom>, smr::borrowed<ideal_dom>,
-                     smr::ebr<>, smr::hp<>, smr::leaky<>>;
+                     smr::ebr<>, smr::hp<>, smr::leaky<>, smr::deferred<>>;
 TYPED_TEST_SUITE(SimSmrConformance, SimPolicies);
 
 TYPED_TEST(SimSmrConformance, StackRaceConservesAndStaysMemorySafe) {

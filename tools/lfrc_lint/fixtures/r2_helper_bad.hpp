@@ -1,0 +1,46 @@
+// lfrc_lint fixture — R2 violations, one level through a helper: the
+// pointer is protected by a function-local guard, then handed to a helper
+// that returns it or stores it into a member. The helper merely launders
+// the escape; the protection still dies at the caller's `}`.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2h_node : P::template node_base<r2h_node<P>> {
+    typename P::template link<r2h_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Returns its argument: passing a protected pointer here is a return
+/// escape at one remove.
+template <typename P>
+inline r2h_node<P>* identity_hold(r2h_node<P>* n) {
+    return n;
+}
+
+template <typename P>
+class helper_cache {
+  public:
+    /// Stores its argument into a member: a store escape at one remove.
+    void stash(r2h_node<P>* n) { last_ = n; }
+
+    r2h_node<P>* grab(P& policy,
+                      typename P::template link<r2h_node<P>>& head) {
+        typename P::guard g(policy);
+        r2h_node<P>* h = g.protect(0, head);
+        stash(h);                 // lint-expect: R2
+        return identity_hold(h);  // lint-expect: R2
+    }
+
+  private:
+    r2h_node<P>* last_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// lfrc_lint fixture — R2 clean with helpers: protected pointers may be
+// passed to helpers that only *consume* them (read a field, compute a
+// value) — nothing outlives the guard. Passing the guard itself along is
+// the sanctioned way to let a callee keep the protection alive.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2hg_node : P::template node_base<r2hg_node<P>> {
+    typename P::template link<r2hg_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Consumes the pointer: reads a field and returns a value, not the
+/// pointer. No escape.
+template <typename P>
+inline int value_of(r2hg_node<P>* n) {
+    return n == nullptr ? 0 : n->value;
+}
+
+/// Takes the guard as a parameter: the caller's protection covers the
+/// whole call, and the returned pointer stays under the caller's guard.
+template <typename P>
+inline r2hg_node<P>* step_under(typename P::guard& g, r2hg_node<P>* n) {
+    return g.traverse(1, n->next);
+}
+
+template <typename P>
+inline int sum_via_helpers(P& policy,
+                           typename P::template link<r2hg_node<P>>& head) {
+    typename P::guard g(policy);
+    r2hg_node<P>* h = g.protect(0, head);
+    if (h == nullptr) return 0;
+    r2hg_node<P>* n = step_under(g, h);
+    return value_of(h) + value_of(n);
+}
+
+}  // namespace fixture

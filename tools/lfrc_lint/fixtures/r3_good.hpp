@@ -52,4 +52,41 @@ inline void retire_claimed(P& policy, r3_node<P>* claimed) {
     policy.retire_unlinked(claimed);
 }
 
+template <typename P>
+struct r3_entry : P::template node_base<r3_entry<P>> {
+    typename P::template vslot<int> val;
+    typename P::flag dead;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(val);
+    }
+};
+
+/// The CASN erase claim (vclaim_mark_dead) is an unlink-winning op:
+/// success means this thread alone took the entry's value, so the winner
+/// branch retires with no annotation.
+template <typename P>
+inline bool claim_and_retire(P& policy, r3_entry<P>& e, int* cur,
+                             std::uint64_t ver) {
+    if (policy.vclaim_mark_dead(e.val, ver, cur, e.dead)) {
+        policy.retire_unlinked(cur);
+        return true;
+    }
+    return false;
+}
+
+/// Same claim in fall-through form: the loser branch diverges, the
+/// straight-line retire is the claim winner's.
+template <typename P>
+inline bool claim_fallthrough(P& policy, r3_entry<P>& e, int* cur,
+                              std::uint64_t ver) {
+    if (!policy.vclaim_mark_dead(e.val, ver, cur, e.dead)) {
+        return false;
+    }
+    policy.retire_unlinked(cur);
+    return true;
+}
+
 }  // namespace fixture

@@ -52,14 +52,18 @@ ATOMIC_OP_RE = re.compile(
 RAW_CELL_RE = re.compile(r"(?:\.|->)\s*(raw|cell|ptr_cell|version_cell)\s*\(\s*\)")
 EXCLUSIVE_RE = re.compile(r"(?:\.|->)\s*(exclusive_get|exclusive_set)\s*\(")
 
-CAS_OP_NAMES = ("dcas_link_flag", "cas_link", "flag_cas")
-CAS_OP_RE = re.compile(r"\b(dcas_link_flag|cas_link|flag_cas)\s*\(")
+# Unlink-winning ops for R3 dominance: the link/flag CAS family plus the
+# CASN erase claim (vclaim_mark_dead), whose success likewise means this
+# thread — and only this thread — took the entry out of the structure.
+CAS_OP_NAMES = ("dcas_link_flag", "cas_link", "flag_cas", "vclaim_mark_dead")
+CAS_OP_RE = re.compile(r"\b(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\s*\(")
 NEG_CAS_HEAD_RE = re.compile(
-    r"if\s*\(\s*!\s*[\w.\->]*\s*(?:\.|->)?\s*(dcas_link_flag|cas_link|flag_cas)\b"
+    r"if\s*\(\s*!\s*[\w.\->]*\s*(?:\.|->)?\s*"
+    r"(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\b"
 )
 POS_CAS_HEAD_RE = re.compile(
-    r"if\s*\((?![^)]*!\s*[\w.\->]*(dcas_link_flag|cas_link|flag_cas))"
-    r"[^)]*\b(dcas_link_flag|cas_link|flag_cas)\s*\("
+    r"if\s*\((?![^)]*!\s*[\w.\->]*(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead))"
+    r"[^)]*\b(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\s*\("
 )
 DIVERGE_RE = re.compile(r"\b(goto|continue|return|break|throw)\b")
 
@@ -200,10 +204,97 @@ def check_r1(ctx: RuleContext):
 
 # ---- R2: protected pointers must not escape their guard ------------------
 
+# Member-store left-hand sides: a member access chain (x.f / x->f / x[i]) or
+# a trailing-underscore member name — the shapes through which a pointer
+# outlives the enclosing function.
+STORE_LHS = r"([A-Za-z_]\w*(?:(?:\.|->)\w+|\[[^\]]*\])+|\b\w+_)"
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside (), [], or {}. Good enough for the
+    parameter/argument lists this repo writes; top-level template commas in
+    a helper signature would mis-split, but then the param-name heuristic
+    simply finds no escape and the rule stays silent (never a false flag)."""
+    parts: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def _balanced_args(text: str, open_off: int) -> str | None:
+    """Text between the '(' at open_off and its matching ')', else None."""
+    depth = 0
+    for i in range(open_off, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_off + 1:i]
+    return None
+
+
+def _param_names(header: str, open_off: int) -> list[str]:
+    args = _balanced_args(header, open_off)
+    if args is None:
+        return []
+    names = []
+    for p in _split_top_level(args):
+        p = p.split("=")[0]  # strip default argument
+        ids = re.findall(r"[A-Za-z_]\w*", p)
+        names.append(ids[-1] if ids else "")
+    return names
+
+
+def _escaping_helper_params(model: SourceModel) -> dict[str, set[int]]:
+    """Map helper name -> indices of parameters the helper lets escape
+    (returns them, or stores them into a member). One level of
+    interprocedural taint for R2: a guard-protected pointer passed at such
+    an index escapes just as surely as a direct return/member store in the
+    caller — the helper merely launders it."""
+    helpers: dict[str, set[int]] = {}
+
+    def visit(blk: Block):
+        for ch in blk.children:
+            if model.is_function_block(ch):
+                nm = re.search(r"([~A-Za-z_]\w*)\s*\(", ch.header or "")
+                if nm and not nm.group(1).startswith("~"):
+                    params = _param_names(ch.header, nm.end() - 1)
+                    body = model.block_text(ch)
+                    esc = set()
+                    for i, p in enumerate(params):
+                        if not p:
+                            continue
+                        if (re.search(r"\breturn\s+" + re.escape(p) + r"\s*;",
+                                      body)
+                                or re.search(STORE_LHS + r"\s*=\s*"
+                                             + re.escape(p) + r"\s*;", body)):
+                            esc.add(i)
+                    if esc:
+                        helpers.setdefault(nm.group(1), set()).update(esc)
+            visit(ch)
+
+    visit(model.root)
+    return helpers
+
+
 def check_r2(ctx: RuleContext):
     model = ctx.model
     if is_policy_internal(ctx.relpath):
         return
+    helpers = _escaping_helper_params(model)
 
     def scan_function(fn: Block):
         body = model.block_text(fn)
@@ -247,8 +338,7 @@ def check_r2(ctx: RuleContext):
                     f"with the guard (upgrade to an owning reference or "
                     f"take the guard as a parameter)")
             store = re.compile(
-                r"([A-Za-z_]\w*(?:(?:\.|->)\w+|\[[^\]]*\])+|\b\w+_)\s*=\s*"
-                + re.escape(var) + r"\s*;")
+                STORE_LHS + r"\s*=\s*" + re.escape(var) + r"\s*;")
             for m in store.finditer(body):
                 lhs = m.group(1)
                 if lhs in tainted:
@@ -261,6 +351,33 @@ def check_r2(ctx: RuleContext):
                     f"guard-protected '{var}' stored to '{lhs}', outliving "
                     f"its guard scope (escape requires an upgrade to an "
                     f"owning/counted reference)")
+
+        # One-level interprocedural escape: a tainted pointer passed to a
+        # same-file helper at a parameter index that helper returns or
+        # stores. Member/qualified calls (x.f(...), ns::f(...)) are not
+        # matched — only bare helper names resolved in this file.
+        if helpers and tainted:
+            for m in re.finditer(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(", body):
+                esc = helpers.get(m.group(1))
+                if esc is None:
+                    continue
+                argtext = _balanced_args(body, m.end() - 1)
+                if argtext is None:
+                    continue
+                args = [a.strip() for a in _split_top_level(argtext)]
+                for i in sorted(esc):
+                    if i >= len(args) or args[i] not in tainted:
+                        continue
+                    line = model.line_of(base + m.start())
+                    if model.annotated(line, "escape-ok"):
+                        continue
+                    ctx.report(
+                        "R2", base + m.start(),
+                        f"guard-protected '{args[i]}' passed to "
+                        f"'{m.group(1)}', which returns or stores that "
+                        f"parameter — the pointer escapes its guard scope "
+                        f"through the helper (upgrade to an owning "
+                        f"reference, or pass the guard along)")
 
     def visit(blk: Block):
         for ch in blk.children:

@@ -1,5 +1,7 @@
 #include "reclaim/epoch.hpp"
 
+#include <cassert>
+
 namespace lfrc::reclaim {
 
 namespace {
@@ -68,6 +70,10 @@ bool epoch_domain::quiescent() const noexcept {
 
 void epoch_domain::register_aux(std::uint64_t (*pending_fn)() noexcept, void (*drain_fn)() noexcept,
                                 void (*clear_slot_fn)(std::size_t) noexcept) noexcept {
+    // One layered scheme only: a second registration would silently
+    // disconnect the first scheme's backlog from pending()/drain_all().
+    assert(aux_pending_.load(std::memory_order_relaxed) == nullptr &&
+           "register_aux: an aux reclaimer is already registered");
     aux_pending_.store(pending_fn, std::memory_order_release);
     aux_drain_.store(drain_fn, std::memory_order_release);
     aux_clear_slot_.store(clear_slot_fn, std::memory_order_release);

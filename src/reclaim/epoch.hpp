@@ -99,7 +99,9 @@ class epoch_domain {
     /// pending() reflects its backlog, drain_all() drives its processing,
     /// and clear_slot() flushes its per-slot state for abandoned fibers —
     /// every existing drain/teardown loop then covers it with no caller
-    /// changes. Hooks must be callable from any thread.
+    /// changes. Hooks must be callable from any thread. Exactly one layered
+    /// scheme is supported: registering a second asserts rather than
+    /// silently replacing the first.
     void register_aux(std::uint64_t (*pending_fn)() noexcept, void (*drain_fn)() noexcept,
                       void (*clear_slot_fn)(std::size_t) noexcept) noexcept;
 
@@ -160,7 +162,7 @@ class epoch_domain {
 
     util::padded<sim::instrumented_atomic<std::uint64_t>> global_epoch_{std::uint64_t{1}};
     // Aux reclaimer hooks (register_aux). Null until a layered scheme
-    // registers; checked with a single relaxed load on the paths they touch.
+    // registers; checked with an acquire load on the paths they touch.
     std::atomic<std::uint64_t (*)() noexcept> aux_pending_{nullptr};
     std::atomic<void (*)() noexcept> aux_drain_{nullptr};
     std::atomic<void (*)(std::size_t) noexcept> aux_clear_slot_{nullptr};

@@ -285,6 +285,12 @@ schedule_outcome run_one_schedule(std::uint64_t schedule_seed, const options& op
     // first — an abandoned fiber may have died inside a guard — then drain.
     auto& dom = reclaim::epoch_domain::global();
     for (const auto& f : r.fibers) dom.clear_slot(f.slot);
+    if (!r.failed && !dom.quiescent()) {
+        // The residual-pending check below is only meaningful at
+        // quiescence; a pin surviving clear_slot is its own bug.
+        fail_here("pinned-at-teardown",
+                  "a slot is still pinned after every fiber was cleared");
+    }
     for (int round = 0; round < 16 && dom.pending() != 0; ++round) {
         dom.try_advance();
         dom.drain_all();

@@ -241,23 +241,33 @@ class runtime {
                     const std::uint64_t rc = n->rc_.load(std::memory_order_seq_cst);
                     if ((rc & count_mask) != 0) {
                         // Resurrected by a flushed increment: hand zero
-                        // detection back to the decrementers...
-                        n->rc_.fetch_and(~queued_bit, std::memory_order_seq_cst);
-                        const std::uint64_t again = n->rc_.load(std::memory_order_seq_cst);
-                        std::uint64_t expected = 0;
-                        if ((again & count_mask) == 0 && (again & queued_bit) == 0 &&
-                            n->rc_.compare_exchange_strong(expected, queued_bit,
-                                                           std::memory_order_seq_cst)) {
-                            // ...unless it already dropped back to zero and
-                            // the crossing decrementer skipped the push
-                            // because WE still held the claim: re-claim and
-                            // re-queue.
-                            stamp(n);
-                            keep(n);
-                        } else {
+                        // detection back to the decrementers by releasing
+                        // the claim — but only through a CAS that requires
+                        // count > 0. The moment the claim is released, a
+                        // concurrent final release may re-queue n and a
+                        // second reviewer may free it, so n must never be
+                        // touched after a successful release. On CAS
+                        // failure the claim is still ours (nobody else
+                        // clears the bit) and re-examining n is safe.
+                        std::uint64_t cur = rc;
+                        bool released = false;
+                        while ((cur & count_mask) != 0) {
+                            if (n->rc_.compare_exchange_weak(cur, cur & ~queued_bit,
+                                                             std::memory_order_seq_cst)) {
+                                released = true;
+                                break;
+                            }
+                        }
+                        if (released) {
                             // Someone holds a real reference; its release
                             // will re-detect zero. The node leaves the queue.
                             home.count.fetch_sub(1, std::memory_order_relaxed);
+                        } else {
+                            // The count dropped back to zero while WE still
+                            // held the claim, so the crossing decrementer
+                            // skipped the push: re-stamp and re-queue.
+                            stamp(n);
+                            keep(n);
                         }
                     } else {
                         const std::uint64_t st =

@@ -18,6 +18,20 @@
 //     exactly once and nothing may leak — double-free is caught by the
 //     shadow heap, a leak by the arena check, a stuck review queue by the
 //     residual-pending check at quiescence.
+//
+//  3. TwoReviewersRaceResurrection — white-box check of the reviewer's
+//     resurrection claim handoff, driving deferred_detail::runtime
+//     directly: setup zero-crosses a node (queued) and resurrects it with
+//     a +1, reviewer A steals it (count > 0 path), while fiber B performs
+//     the final release and drives its own unpinned review to the free.
+//     The dangerous schedule: A relinquishes the queue claim, B's release
+//     re-queues the node and B's reviewer advances epochs and frees it —
+//     any access A makes after losing the claim is a UAF the shadow heap
+//     flags. A must therefore release the claim only through a CAS that
+//     requires count > 0 (failure = claim still held). A preemption bound
+//     of 1 makes this a dense search over A's preemption point; the
+//     pre-fix code (claim released with fetch_and, then re-read) fails
+//     this test within ~700 schedules at this seed.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -31,6 +45,7 @@ using namespace sim_tests;
 namespace smr = lfrc::smr;
 
 using policy = smr::deferred<>;
+using rt = smr::deferred_detail::runtime;
 
 struct node : policy::node_base<node> {
     static constexpr std::size_t smr_link_count = 1;
@@ -125,6 +140,39 @@ TEST(SimDeferred, FlushRacesFinalRelease) {
             }
         });
         e.on_quiesce([s] { s->teardown(true); });
+    });
+    EXPECT_CLEAN(res);
+}
+
+TEST(SimDeferred, TwoReviewersRaceResurrection) {
+    auto o = opts(60609, 2000);
+    o.preemption_bound = 1;  // one involuntary switch: A's claim handoff
+    const auto res = sim::explore(o, [](sim::env& e) {
+        // One plain node, no roots: the counts are driven directly so the
+        // count>0 review path is reached on (nearly) every schedule.
+        auto s = std::make_shared<node*>(nullptr);
+        auto& r = rt::instance();
+        *s = new node;       // birth reference, count 1
+        r.release(*s);       // zero-cross: claimed + queued on our shard
+        r.add_ref(*s);       // resurrected: count 1, claim still held
+        e.spawn("reviewerA", [] {
+            // Steals the resurrected node and must hand the claim back.
+            rt::instance().process_review(/*max_passes=*/1, /*all_shards=*/true);
+        });
+        e.spawn("releaserB", [s] {
+            auto& rr = rt::instance();
+            rr.release(*s);  // final release: re-crosses zero
+            // Unpinned reviewer: if A released the claim, this re-queues,
+            // outwaits the grace period, and frees — while A may still be
+            // parked inside its handoff.
+            rr.process_review(/*max_passes=*/0, /*all_shards=*/true);
+        });
+        e.on_quiesce([] {
+            if (lfrc::flush_deferred_frees(64) != 0) {
+                sim::fail_here("residual-pending",
+                               "review queue stuck at quiescence");
+            }
+        });
     });
     EXPECT_CLEAN(res);
 }

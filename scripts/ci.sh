@@ -65,6 +65,9 @@ for cell in "${cells[@]}"; do
       run_cell release cmake -B build -G Ninja
       cmake --build build
       ctest --test-dir build --output-on-failure
+      # E10 smoke: exits non-zero if the reuse engine generates ANY
+      # reclaimer traffic (retired / pending deltas must be zero).
+      ./build/bench/bench_e10_casn --duration=0.05 --max_threads=2
       ;;
     tsan)
       run_cell tsan cmake -B build-thread -G Ninja -DLFRC_SANITIZE=thread

@@ -42,6 +42,11 @@ fi
       # Also emit the machine-readable perf baseline (BENCH_e6.json) so
       # future PRs have a trajectory for the borrow-vs-counted-load gap.
       "$b" --max_threads=8 --json=BENCH_e6.json
+    elif [[ "$(basename "$b")" == "bench_e10_casn" ]]; then
+      # CASN descriptor-reuse baseline (BENCH_e10.json): reuse vs the
+      # frozen allocate+retire engine, with the retired-descriptor columns
+      # EXPERIMENTS.md E10 tracks (reuse must stay at zero).
+      "$b" --max_threads=8 --json=BENCH_e10.json
     elif [[ "$(basename "$b")" == "bench_e9_store_throughput" ]]; then
       # End-to-end store throughput baseline (BENCH_e9.json): the
       # reclaimer-policy comparison EXPERIMENTS.md E9 tracks across PRs —

@@ -78,4 +78,42 @@ inline std::uint64_t decode_count(std::uint64_t v) noexcept {
     return v >> 2;
 }
 
+// ---- descriptor-word layout (mcas_engine) ---------------------------------
+//
+// The lock-free engine's descriptors are *permanent* per-thread objects
+// (Arbel-Raviv & Brown, "Reuse, don't Recycle"): a tagged cell word does not
+// carry a heap pointer but names a descriptor by (registry slot, pool index)
+// and embeds the descriptor's sequence number at publication time, so
+// helpers detect reuse by tag mismatch instead of relying on reclamation:
+//
+//   bits  1..0   tag (01 RDCSS / 10 MCAS, as above)
+//   bits  3..2   descriptor index within the slot's pool
+//   bits 10..4   thread-registry slot (max_threads = 128)
+//   bits 63..11  sequence number, modulo 2^53
+//
+// Sequences are compared for equality only, so 53-bit wraparound is benign
+// (an ABA across 2^53 reuses of one descriptor while a helper is stalled is
+// out of the model).
+inline constexpr std::uint64_t desc_index_bits = 2;
+inline constexpr std::uint64_t desc_slot_bits = 7;
+inline constexpr std::uint64_t desc_seq_shift = 2 + desc_index_bits + desc_slot_bits;
+inline constexpr std::uint64_t desc_seq_mask = ~std::uint64_t{0} >> desc_seq_shift;
+
+inline constexpr std::uint64_t make_desc_word(std::size_t slot, std::size_t index,
+                                              std::uint64_t seq, std::uint64_t tag) noexcept {
+    return (seq << desc_seq_shift) |
+           (static_cast<std::uint64_t>(slot) << (2 + desc_index_bits)) |
+           (static_cast<std::uint64_t>(index) << 2) | tag;
+}
+inline constexpr std::size_t desc_slot_of(std::uint64_t w) noexcept {
+    return static_cast<std::size_t>((w >> (2 + desc_index_bits)) &
+                                    ((std::uint64_t{1} << desc_slot_bits) - 1));
+}
+inline constexpr std::size_t desc_index_of(std::uint64_t w) noexcept {
+    return static_cast<std::size_t>((w >> 2) & ((std::uint64_t{1} << desc_index_bits) - 1));
+}
+inline constexpr std::uint64_t desc_seq_of(std::uint64_t w) noexcept {
+    return w >> desc_seq_shift;
+}
+
 }  // namespace lfrc::dcas

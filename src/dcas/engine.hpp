@@ -1,14 +1,21 @@
 // The DCAS engine concept.
 //
-// An engine provides atomic single-cell read, single-cell CAS, and the
-// paper's DCAS: atomically compare two independently chosen cells against
-// expected values and, if both match, write both new values. All application
-// access to cells in one "domain" must go through the same engine; mixing
-// engines on one cell is undefined (the MCAS engine publishes descriptors
-// that only it understands).
+// An engine provides atomic single-cell read, single-cell CAS, the paper's
+// DCAS (atomically compare two independently chosen cells against expected
+// values and, if both match, write both new values), and the generalized
+// N-word casn over its own casn_op record (N <= max_casn >= 2). All
+// application access to cells in one "domain" must go through the same
+// engine; mixing engines on one cell is undefined (the MCAS engine publishes
+// descriptors that only it understands).
+//
+// clear_slot(s) is the virtual-thread abandonment seam: an engine with
+// per-slot state (mcas_engine's permanent descriptors) invalidates slot s's
+// share of it; engines without per-slot state provide a no-op. Callers must
+// guarantee the slot's owner never runs again.
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 
 #include "dcas/cell.hpp"
@@ -16,11 +23,15 @@
 namespace lfrc::dcas {
 
 template <typename E>
-concept dcas_engine = requires(cell& c, std::uint64_t v) {
+concept dcas_engine = requires(cell& c, std::uint64_t v, typename E::casn_op* ops,
+                               std::size_t n) {
     { E::read(c) } -> std::same_as<std::uint64_t>;
     { E::cas(c, v, v) } -> std::same_as<bool>;
     { E::dcas(c, c, v, v, v, v) } -> std::same_as<bool>;
+    { E::casn(ops, n) } -> std::same_as<bool>;
+    { E::clear_slot(n) } -> std::same_as<void>;
     { E::name() } -> std::convertible_to<const char*>;
+    requires E::max_casn >= 2;
 };
 
 }  // namespace lfrc::dcas

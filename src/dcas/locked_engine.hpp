@@ -99,6 +99,9 @@ class locked_engine {
         return ok;
     }
 
+    /// No per-slot engine state (engine-concept parity with mcas_engine).
+    static void clear_slot(std::size_t) noexcept {}
+
   private:
     static constexpr std::size_t num_stripes = 2048;
     static constexpr std::size_t npos = ~std::size_t{0};

@@ -79,6 +79,12 @@ void epoch_domain::register_aux(std::uint64_t (*pending_fn)() noexcept, void (*d
     aux_clear_slot_.store(clear_slot_fn, std::memory_order_release);
 }
 
+void epoch_domain::register_slot_reset(void (*fn)(std::size_t) noexcept) noexcept {
+    assert(slot_reset_.load(std::memory_order_relaxed) == nullptr &&
+           "register_slot_reset: a slot-reset hook is already registered");
+    slot_reset_.store(fn, std::memory_order_release);
+}
+
 epoch_domain& epoch_domain::global() {
     // Intentionally leaked: retires (and their deleters) can happen during
     // static destruction, which must never race the domain's own teardown.
@@ -194,6 +200,10 @@ void epoch_domain::clear_slot(std::size_t s) noexcept {
     // recorded. The abandoned fiber never runs again, so this is the
     // thread-exit flush it will never perform itself.
     if (auto* f = aux_clear_slot_.load(std::memory_order_acquire)) f(s);
+    // Then invalidate engine-local per-slot state (descriptor sequences):
+    // after this, stale helpers racing the teardown can no longer complete
+    // the abandoned slot's operations.
+    if (auto* f = slot_reset_.load(std::memory_order_acquire)) f(s);
     slot_record& rec = *slots_[s];
     rec.depth = 0;
     rec.state.store(0, std::memory_order_release);

@@ -105,6 +105,15 @@ class epoch_domain {
     void register_aux(std::uint64_t (*pending_fn)() noexcept, void (*drain_fn)() noexcept,
                       void (*clear_slot_fn)(std::size_t) noexcept) noexcept;
 
+    /// Engine-local per-slot state hook: invoked by clear_slot(s) so a DCAS
+    /// engine with permanent per-slot descriptors (dcas::mcas_engine) can
+    /// invalidate the abandoned slot's descriptors — bump their sequences so
+    /// stale helpers cannot complete them. Deliberately separate from
+    /// register_aux, which is the layered-*reclaimer* seam (pending/drain
+    /// accounting) and is already taken by smr::deferred. One registrant;
+    /// a second registration asserts.
+    void register_slot_reset(void (*fn)(std::size_t) noexcept) noexcept;
+
     std::uint64_t global_epoch() const noexcept {
         return global_epoch_->load(std::memory_order_acquire);
     }
@@ -166,6 +175,8 @@ class epoch_domain {
     std::atomic<std::uint64_t (*)() noexcept> aux_pending_{nullptr};
     std::atomic<void (*)() noexcept> aux_drain_{nullptr};
     std::atomic<void (*)(std::size_t) noexcept> aux_clear_slot_{nullptr};
+    // Engine per-slot reset hook (register_slot_reset).
+    std::atomic<void (*)(std::size_t) noexcept> slot_reset_{nullptr};
     // Internal bookkeeping nodes come from an untracked pool so the hot
     // retire path performs no heap allocation and leak accounting stays
     // application-only.

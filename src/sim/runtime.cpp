@@ -357,6 +357,11 @@ void access_check(const void* addr) noexcept {
     }
 }
 
+bool failure_pending() noexcept {
+    run_state* r = current_run();
+    return r != nullptr && r->failed;
+}
+
 void fail_here(const char* kind, const char* what) noexcept {
     run_state* r = current_run();
     if (r == nullptr) {

@@ -65,6 +65,12 @@ inline void memory_access(const void* addr) noexcept {
 /// the violation and returns.
 void fail_here(const char* kind, const char* what) noexcept;
 
+/// True when the active run has already recorded a violation (the schedule
+/// is failed and its remaining fibers are abandoned mid-body). Teardown-path
+/// asserts use this to tolerate state that is only reachable on abandoned
+/// schedules (e.g. a cleared slot owning a mid-operation MCAS descriptor).
+bool failure_pending() noexcept;
+
 // ---- allocator seam (alloc::counted_base under -DLFRC_SIM) ---------------
 
 /// Arena-backed tracked allocation during a run; plain ::operator new

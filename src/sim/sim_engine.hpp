@@ -71,6 +71,9 @@ struct ideal_dcas_engine {
         return true;
     }
 
+    /// No per-slot engine state (engine-concept parity with mcas_engine).
+    static void clear_slot(std::size_t) noexcept {}
+
     static const char* name() noexcept { return "sim-ideal-dcas"; }
 };
 

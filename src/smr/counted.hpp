@@ -30,17 +30,22 @@
 
 namespace lfrc::smr {
 
-/// The paper's discipline as a policy. `Mutated` (available only under
-/// -DLFRC_ENABLE_MUTATIONS via counted_mutated below) swaps the guard's
-/// protect for the Valois-style plain-CAS load so the sim harness can
-/// verify the generic cores still expose the §2 resurrection bug.
-template <typename Domain, bool Mutated = false>
+/// The paper's discipline as a policy. The mutation parameters (available
+/// only under -DLFRC_ENABLE_MUTATIONS via the aliases below) seed known
+/// bugs for the sim harness to re-find:
+///  * `Mutated` swaps the guard's protect for the Valois-style plain-CAS
+///    load so the generic cores still expose the §2 resurrection bug.
+///  * `FlagBlind` downgrades vinstall_if_live from the 3-word CASN (pointer,
+///    version, dead-flag) to the flag-blind 2-word store_conditional — the
+///    pre-PR-3 put-vs-erase lost-update window, re-seeded to prove the
+///    store detector was not blinded by the engine's sequence-tag words.
+template <typename Domain, bool Mutated = false, bool FlagBlind = false>
 class counted {
   public:
     using domain_type = Domain;
 
     static constexpr const char* name() noexcept {
-        return Mutated ? "counted-mutated" : "counted";
+        return Mutated ? "counted-mutated" : (FlagBlind ? "counted-flag-blind" : "counted");
     }
     static constexpr bool counted_links = true;
     // Counted traversal may pass through logically deleted nodes: the
@@ -201,8 +206,16 @@ class counted {
 
     template <typename T>
     bool vinstall_if_live(vslot<T>& s, std::uint64_t ver, T* old0, T* new0, flag& dead) {
-        return Domain::store_conditional_if_flag(s, typename Domain::link_token{ver}, old0,
-                                                 new0, dead, /*flag_required=*/false);
+        if constexpr (FlagBlind) {
+            // MUTANT: ignore the dead flag — the install can land in an
+            // entry a concurrent erase just claimed, losing the update.
+            return Domain::store_conditional(s, typename Domain::link_token{ver}, old0,
+                                             new0);
+        } else {
+            return Domain::store_conditional_if_flag(s, typename Domain::link_token{ver},
+                                                     old0, new0, dead,
+                                                     /*flag_required=*/false);
+        }
     }
     template <typename T>
     bool vclaim_mark_dead(vslot<T>& s, std::uint64_t ver, T* old0, flag& dead) {
@@ -219,6 +232,12 @@ class counted {
 /// catches the §2 resurrection race after this refactor.
 template <typename Domain>
 using counted_mutated = counted<Domain, /*Mutated=*/true>;
+
+/// The flag-blind vinstall mutant: the store's put-vs-erase lost-update
+/// detector (tests/sim/sim_kcas_reuse_test.cpp) must still trigger on it
+/// with the sequence-tagged engine underneath.
+template <typename Domain>
+using counted_flag_blind = counted<Domain, /*Mutated=*/false, /*FlagBlind=*/true>;
 #endif
 
 /// Counted ownership, borrowed reads. Strong operations (protect, vprotect,

@@ -1,0 +1,45 @@
+// lfrc_lint fixture — R4 violations, descriptor flavor: node-managing code
+// that heap-churns its own CASN-descriptor-like helper objects. The engine
+// owns a permanent preallocated descriptor per slot (sequence-tagged words
+// name it; nothing is ever freed); client code `new`ing a descriptor per
+// operation reintroduces exactly the allocate/retire lifetime the reuse
+// protocol deleted — a helper can dereference the freed block. Same rule,
+// same fix: preallocate, name by sequence, never delete.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r4_desc_node : P::template node_base<r4_desc_node<P>> {
+    typename P::template link<r4_desc_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+// A hand-rolled operation descriptor: holds raw node pointers that helping
+// threads will chase. Allocating one per operation is the bug.
+template <typename P>
+struct r4_op_descriptor {
+    r4_desc_node<P>* target = nullptr;
+    unsigned long expected = 0;
+    unsigned long desired = 0;
+};
+
+template <typename P>
+inline r4_op_descriptor<P>* begin_op(r4_desc_node<P>* n) {
+    auto* d = new r4_op_descriptor<P>();  // lint-expect: R4
+    d->target = n;
+    return d;
+}
+
+template <typename P>
+inline void end_op(r4_op_descriptor<P>* d) {
+    delete d;  // lint-expect: R4
+}
+
+}  // namespace fixture

@@ -68,6 +68,10 @@ for cell in "${cells[@]}"; do
       # E10 smoke: exits non-zero if the reuse engine generates ANY
       # reclaimer traffic (retired / pending deltas must be zero).
       ./build/bench/bench_e10_casn --duration=0.05 --max_threads=2
+      # Net loopback smoke: lfrc_kvd + lfrc_loadgen over 127.0.0.1 — asserts
+      # a non-empty latency histogram and zero reclaimer residual after the
+      # SIGTERM graceful drain (scripts/net_smoke.sh).
+      ./scripts/net_smoke.sh build 0.5 3000
       ;;
     tsan)
       run_cell tsan cmake -B build-thread -G Ninja -DLFRC_SANITIZE=thread

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Loopback smoke for the net front-end (DESIGN.md §14 / EXPERIMENTS.md E11):
+# start lfrc_kvd, drive it with lfrc_loadgen for a couple of seconds, then
+# SIGTERM the server and assert the whole contract at once —
+#   * the generator exits 0 (connected, and the latency histogram is
+#     non-empty: its exit status is 1 on zero responses),
+#   * the server exits 0 (graceful drain reached ZERO reclaimer residual;
+#     anything pinned or leaked makes it exit 1).
+#
+#   scripts/net_smoke.sh <build_dir> [duration_s] [rate] [json_out]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+duration="${2:-1.0}"
+rate="${3:-4000}"
+json_out="${4:-}"
+
+kvd="$build_dir/src/net/lfrc_kvd"
+loadgen="$build_dir/src/net/lfrc_loadgen"
+if [[ ! -x "$kvd" || ! -x "$loadgen" ]]; then
+  echo "net_smoke: $kvd / $loadgen not built" >&2
+  exit 2
+fi
+
+port=$((17000 + RANDOM % 2000))
+"$kvd" --port="$port" --workers=2 --policy=deferred &
+server_pid=$!
+trap 'kill -9 "$server_pid" 2>/dev/null || true' EXIT
+
+# Readiness: the server prints its listening line after every worker's
+# SO_REUSEPORT socket is bound; the generator also retries connects for a
+# few seconds, so a short grace is enough.
+sleep 0.3
+
+gen_args=(--port="$port" --threads=2 --connections=4
+          --rate="$rate" --duration="$duration")
+if [[ -n "$json_out" ]]; then
+  gen_args+=(--json="$json_out")
+fi
+"$loadgen" "${gen_args[@]}"
+
+kill -TERM "$server_pid"
+wait "$server_pid"   # non-zero (drain residual != 0) fails the smoke here
+trap - EXIT
+
+if [[ -n "$json_out" && ! -s "$json_out" ]]; then
+  echo "net_smoke: $json_out missing or empty" >&2
+  exit 1
+fi
+echo "net_smoke: OK (port $port, ${duration}s @ ${rate}/s, residual 0)"

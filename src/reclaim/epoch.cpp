@@ -209,6 +209,10 @@ void epoch_domain::clear_slot(std::size_t s) noexcept {
     rec.state.store(0, std::memory_order_release);
 }
 
+void epoch_domain::clear_slots(const std::size_t* slots, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) clear_slot(slots[i]);
+}
+
 void epoch_domain::drain_all() {
     try_advance();
     const std::size_t high = util::thread_registry::instance().high_water();

@@ -89,6 +89,15 @@ class epoch_domain {
     /// this for a slot whose owner may still execute.
     void clear_slot(std::size_t s) noexcept;
 
+    /// Batch clear_slot for the joined-worker teardown idiom shared by the
+    /// workload driver and the net server: each worker records its slot
+    /// index before the join; after the join the slots can never run again,
+    /// so clearing them releases any pins the vanished threads held (their
+    /// thread_local destructors ran, but a worker parked inside a guard at
+    /// join time would otherwise stall the epoch forever). Same legality
+    /// contract as clear_slot, per entry.
+    void clear_slots(const std::size_t* slots, std::size_t n) noexcept;
+
     /// True when no slot is currently pinned. A quiescent observation is
     /// only meaningful to callers that already know no thread is about to
     /// pin (teardown, joined-worker drains); it is advisory, not a fence.

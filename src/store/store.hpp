@@ -360,6 +360,14 @@ class kv_store {
         return n;
     }
 
+    /// The policy instance this store's guards must come from. The net
+    /// server uses it to hold one outer guard across a whole event-loop
+    /// tick (per-op guards nest inside it), amortizing the pin/flush cost
+    /// over the batch. Only meaningful for policies with re-entrant guards
+    /// (counted, borrowed, ebr, deferred, leaky — not hp, whose per-thread
+    /// hazard slots forbid nesting).
+    policy_t& policy() noexcept { return policy_; }
+
     std::size_t shard_count() const noexcept { return shard_mask_ + 1; }
     std::size_t bucket_count() const noexcept {
         return shard_count() * shards_.front()->buckets.size();

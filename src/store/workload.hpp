@@ -154,9 +154,7 @@ workload_result run_workload(Ops& ops, const workload_config& cfg) {
     // thread_local destructors normally reset the slot state — are gone
     // without having exited any still-pinned sections. Slots with a live
     // pin at join time would otherwise stall the epoch forever.
-    for (const std::size_t s : slots) {
-        reclaim::epoch_domain::global().clear_slot(s);
-    }
+    reclaim::epoch_domain::global().clear_slots(slots.data(), slots.size());
 
     workload_result total;
     total.seconds = seconds;

@@ -1,0 +1,41 @@
+// lfrc_lint fixture — R2 violation, net-server shape: a per-tick guard
+// protects a store entry and the handler caches the raw pointer inside the
+// connection object ("so the next request on this connection skips the
+// lookup"). The connection outlives the tick guard by construction — that
+// cached pointer is exactly the dangling read the server's guard-per-tick
+// discipline exists to prevent, and the lint must flag the store.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2_net_entry : P::template node_base<r2_net_entry<P>> {
+    typename P::template link<r2_net_entry> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// A connection object: lives across many event-loop ticks, while each
+/// tick's guard dies at the end of the tick that created it.
+template <typename P>
+struct r2_net_connection {
+    int fd = -1;
+    r2_net_entry<P>* hot_entry = nullptr;  // cached across ticks — the bug
+};
+
+/// The server's process_input shape: a per-tick guard, a connection that
+/// outlives it. Caching the protected entry on the connection escapes.
+template <typename P>
+inline void handle_tick(r2_net_connection<P>& conn, P& policy,
+                        typename P::template link<r2_net_entry<P>>& head) {
+    typename P::guard tick(policy);
+    r2_net_entry<P>* e = tick.protect(0, head);
+    conn.hot_entry = e;  // lint-expect: R2
+}
+
+}  // namespace fixture

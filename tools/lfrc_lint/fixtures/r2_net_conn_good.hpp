@@ -1,0 +1,33 @@
+// lfrc_lint fixture — R2 clean twin of r2_net_conn_bad: the connection
+// caches the *value* it computed under the tick guard, never the protected
+// pointer. Values copied out of an entry are the tick's result; the entry
+// pointer stays inside the guard that justifies touching it.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2_netc_entry : P::template node_base<r2_netc_entry<P>> {
+    typename P::template link<r2_netc_entry> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+template <typename P>
+struct r2_netc_connection {
+    int fd = -1;
+    int last_value = 0;  // a copied value may outlive the guard
+
+    void handle_tick(P& policy, typename P::template link<r2_netc_entry<P>>& head) {
+        typename P::guard tick(policy);
+        r2_netc_entry<P>* e = tick.protect(0, head);
+        if (e != nullptr) last_value = e->value;
+    }
+};
+
+}  // namespace fixture

@@ -5,8 +5,8 @@ The paper's transformation (GC-dependent lock-free structure -> LFRC) is
 only sound for *LFRC-compliant* code: shared pointers touched exclusively
 through the load/store/copy/destroy/CAS/DCAS operation set, which this
 repo expresses as the lfrc::smr policy/guard seam. This tool mechanically
-enforces that discipline over client code (containers, store, snark,
-fixtures):
+enforces that discipline over client code (containers, store, snark, the
+net front-end, fixtures):
 
   R1  no raw read/write/CAS on shared node pointer cells — all access via
       policy link/guard operations

@@ -9,11 +9,15 @@ The LFRC/SMR seam splits the tree into two zones:
                      (src/lfrc, src/reclaim, src/gc, src/alloc, src/sim,
                      src/util). Raw cells, atomics and new/delete are the
                      *implementation* of the discipline here.
-  client code        src/containers, src/store, src/snark, examples and
-                     the fixture corpus. Every shared-pointer access must
-                     go through policy/guard operations (the paper's
-                     load/store/copy/destroy/CAS/DCAS set); rules R1-R5
-                     enforce exactly that.
+  client code        src/containers, src/store, src/snark, src/net,
+                     examples and the fixture corpus. Every shared-pointer
+                     access must go through policy/guard operations (the
+                     paper's load/store/copy/destroy/CAS/DCAS set); rules
+                     R1-R5 enforce exactly that. src/net is the canonical
+                     long-lived-object client: connections outlive the
+                     per-tick guards that protect store entries, so R2's
+                     escape analysis is the rule that matters most there
+                     (fixtures/r2_net_conn_*.hpp).
 
 Escape hatches are explicit and greppable:
   // lfrc-lint: unlink-winner      R3 — call site IS the unlink winner

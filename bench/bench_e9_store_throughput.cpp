@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/arena.hpp"
 #include "lfrc/lfrc.hpp"
 #include "smr/smr.hpp"
 #include "store/store.hpp"
@@ -147,6 +148,23 @@ int main(int argc, char** argv) {
     }
     table.print();
 
+    // The allocation seam all of the above ran through: magazine hits are
+    // atomics-free allocations, remote pops/chain steals are the cross-slot
+    // recycling traffic, carved is fresh slab growth (stops rising once the
+    // working set is resident), fallback counts >2048 B system-heap routes.
+    const auto arena_stats = alloc::arena::instance().snapshot();
+    std::printf("\narena: footprint=%.1f MiB carved=%llu magazine_hits=%llu "
+                "remote_pops=%llu chain_steals=%llu local_frees=%llu "
+                "remote_frees=%llu fallback=%llu\n",
+                static_cast<double>(arena_stats.footprint_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(arena_stats.carved),
+                static_cast<unsigned long long>(arena_stats.magazine_hits),
+                static_cast<unsigned long long>(arena_stats.remote_pops),
+                static_cast<unsigned long long>(arena_stats.chain_steals),
+                static_cast<unsigned long long>(arena_stats.local_frees),
+                static_cast<unsigned long long>(arena_stats.remote_frees),
+                static_cast<unsigned long long>(arena_stats.fallback_allocs));
+
     std::printf("\nshape check: lfrc-borrow should track ebr (both pay one epoch\n"
                 "pin per read) and pull away from lfrc-counted as threads grow;\n"
                 "leaky is the unsafe ceiling (its `retired` column is the leak).\n"
@@ -178,7 +196,20 @@ int main(int argc, char** argv) {
                          static_cast<unsigned long long>(r.residual),
                          i + 1 < rows.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f,
+                     "  ],\n  \"arena\": {\"footprint_bytes\": %llu, "
+                     "\"carved\": %llu, \"magazine_hits\": %llu, "
+                     "\"remote_pops\": %llu, \"chain_steals\": %llu, "
+                     "\"local_frees\": %llu, \"remote_frees\": %llu, "
+                     "\"fallback_allocs\": %llu}\n}\n",
+                     static_cast<unsigned long long>(arena_stats.footprint_bytes),
+                     static_cast<unsigned long long>(arena_stats.carved),
+                     static_cast<unsigned long long>(arena_stats.magazine_hits),
+                     static_cast<unsigned long long>(arena_stats.remote_pops),
+                     static_cast<unsigned long long>(arena_stats.chain_steals),
+                     static_cast<unsigned long long>(arena_stats.local_frees),
+                     static_cast<unsigned long long>(arena_stats.remote_frees),
+                     static_cast<unsigned long long>(arena_stats.fallback_allocs));
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }

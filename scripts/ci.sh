@@ -99,6 +99,17 @@ for cell in "${cells[@]}"; do
       # LSan still guards every other policy.
       LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
         ctest --test-dir build-address --output-on-failure
+      # Arena poisoning interop, inverted: the probe reads a freed arena
+      # payload. Recycled (never-unmapped) blocks are invisible to ASan's
+      # own heap bookkeeping, so this only dies if the arena's manual
+      # poison-on-free is working — the probe SURVIVING means the recycling
+      # path silently lost sanitizer coverage, and the cell fails.
+      if ./build-address/tests/arena_uaf_probe 2>/dev/null; then
+        echo "asan: arena_uaf_probe survived a freed-payload read — arena poisoning is broken" >&2
+        exit 1
+      else
+        echo "asan: arena_uaf_probe died as required (poison-on-free intact)"
+      fi
       ;;
     sim)
       run_cell sim cmake -B build-sim -G Ninja -DLFRC_SIM=ON

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# E11 sweep (EXPERIMENTS.md E11 / DESIGN.md §14): latency-vs-load curves for
+# the net front-end, policies x offered rates. Each cell is one full
+# net_smoke-style run — fresh lfrc_kvd at --policy=<p>, open-loop lfrc_loadgen
+# at --rate=<r>, SIGTERM + wait (the server's exit status asserts the graceful
+# drain reached ZERO reclaimer residual) — writing a per-cell JSON; the cells
+# are then merged into one BENCH_e11.json whose rows carry the policy/rate
+# coordinates, so a plot of p99 against offered rate falls straight out.
+#
+#   scripts/e11_sweep.sh <build_dir> [duration_s] [json_out]
+#     LFRC_E11_POLICIES="deferred ebr ..."   override the policy list
+#     LFRC_E11_RATES="2000 8000 ..."         override the offered-rate list
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+duration="${2:-2.0}"
+json_out="${3:-BENCH_e11.json}"
+
+# borrowed rides the same epoch-pinned read path as ebr at the server, so the
+# default sweep keeps the three distinct reclamation stories; leaky is the
+# no-reclamation ceiling. Rates bracket the single-cell smoke's 8000/s.
+policies=(${LFRC_E11_POLICIES:-deferred ebr leaky})
+rates=(${LFRC_E11_RATES:-2000 8000 20000})
+
+kvd="$build_dir/src/net/lfrc_kvd"
+loadgen="$build_dir/src/net/lfrc_loadgen"
+if [[ ! -x "$kvd" || ! -x "$loadgen" ]]; then
+  echo "e11_sweep: $kvd / $loadgen not built" >&2
+  exit 2
+fi
+
+cell_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$cell_dir"
+}
+trap cleanup EXIT
+
+cell_jsons=()
+for policy in "${policies[@]}"; do
+  for rate in "${rates[@]}"; do
+    port=$((17000 + RANDOM % 2000))
+    echo "--- e11 cell: policy=$policy rate=$rate port=$port"
+    "$kvd" --port="$port" --workers=2 --policy="$policy" &
+    server_pid=$!
+    sleep 0.3  # workers bind SO_REUSEPORT sockets; loadgen also retries
+
+    cell_json="$cell_dir/cell_${policy}_${rate}.json"
+    "$loadgen" --port="$port" --threads=2 --connections=4 \
+               --rate="$rate" --duration="$duration" --json="$cell_json"
+
+    kill -TERM "$server_pid"
+    wait "$server_pid"   # non-zero = drain residual != 0 — fail the sweep
+    server_pid=""
+
+    if [[ ! -s "$cell_json" ]]; then
+      echo "e11_sweep: $cell_json missing or empty" >&2
+      exit 1
+    fi
+    cell_jsons+=("$policy" "$cell_json")
+  done
+done
+
+# Merge: one top-level doc, each cell's loadgen JSON as a row stamped with
+# its policy (rate_offered is already inside the cell document).
+python3 - "$json_out" "${cell_jsons[@]}" <<'PY'
+import json, sys
+out, rest = sys.argv[1], sys.argv[2:]
+rows = []
+for policy, path in zip(rest[0::2], rest[1::2]):
+    with open(path) as f:
+        cell = json.load(f)
+    rows.append({"policy": policy, **cell})
+doc = {"bench": "e11_sweep", "cells": rows}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(rows)} cells)")
+PY
+
+echo "e11_sweep: OK (${#policies[@]} policies x ${#rates[@]} rates, ${duration}s/cell, residual 0 everywhere)"

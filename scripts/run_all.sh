@@ -60,10 +60,11 @@ fi
 } 2>&1 | tee bench_output.txt
 
 # E11: open-loop tail latency through the net front-end (BENCH_e11.json).
-# Not a bench/ binary — it needs a live server; net_smoke.sh owns the
-# start/drive/drain choreography and asserts residual 0 on the way out.
-echo "=== e11 net tail latency ===" | tee -a bench_output.txt
-./scripts/net_smoke.sh build 2.0 8000 BENCH_e11.json 2>&1 | tee -a bench_output.txt
+# Not a bench/ binary — it needs a live server; e11_sweep.sh owns the
+# start/drive/drain choreography per cell (policies x offered rates,
+# latency-vs-load curves) and asserts residual 0 on every way out.
+echo "=== e11 net tail latency sweep ===" | tee -a bench_output.txt
+./scripts/e11_sweep.sh build 2.0 BENCH_e11.json 2>&1 | tee -a bench_output.txt
 
 echo
 echo "=== examples (smoke) ==="

@@ -3,18 +3,22 @@
 // This is the allocation regime the paper contrasts LFRC against: memory is
 // recycled through a LIFO freelist but *never returned to the system* while
 // the pool lives (Valois [19] and other freelist-based schemes require
-// exactly this "type-stable" property). Two consumers in this repo:
+// exactly this "type-stable" property). Consumers in this repo:
 //
 //  * containers::valois_stack — the comparator whose footprint cannot
 //    shrink (experiment E4);
+//  * reclaim::epoch_domain — its retire bookkeeping nodes (track_stats
+//    off: infrastructure, not application footprint);
+//  * the frozen allocate+retire DCAS baseline in bench_e10;
 //  * tests/test_aba_demo.cpp — the LIFO reuse makes ABA reproduce reliably,
 //    demonstrating why CAS-only reference counting on reusable memory is
 //    unsound (paper §1) while LFRC on fresh heap memory is not.
 //
-// Freelist ABA within the pool itself is prevented with a 32-bit tag packed
-// next to a 32-bit block index in a single 64-bit head word; blocks are
-// addressed by index through a chunk directory, so no double-width CAS is
-// needed.
+// Storage comes from the shared slab chunk directory (alloc/slab.hpp, the
+// same engine under lfrc::alloc::arena); this class adds one single-list
+// freelist over it. Freelist ABA is prevented with the 32-bit tag packed
+// next to the 32-bit slot index in a single 64-bit head word (tagged_head),
+// so no double-width CAS is needed.
 #pragma once
 
 #include <atomic>
@@ -23,33 +27,24 @@
 #include <cstring>
 #include <new>
 
-#include "alloc/stats.hpp"
+#include "alloc/slab.hpp"
 
 namespace lfrc::alloc {
 
 template <std::size_t BlockSize>
 class block_pool {
   public:
-    static constexpr std::size_t blocks_per_chunk = 1024;
-    static constexpr std::size_t max_chunks = 4096;
+    static constexpr std::size_t blocks_per_chunk = slab_directory::slots_per_chunk;
+    static constexpr std::size_t max_chunks = slab_directory::max_chunks;
 
     /// `track_stats == false` keeps this pool's chunks out of the global
     /// allocation counters — used by infrastructure pools (DCAS descriptors,
     /// epoch retire nodes) whose footprint would otherwise pollute
     /// application-level leak accounting.
-    explicit block_pool(bool track_stats = true) noexcept : track_stats_(track_stats) {}
+    explicit block_pool(bool track_stats = true) noexcept
+        : dir_(slot_bytes, track_stats) {}
     block_pool(const block_pool&) = delete;
     block_pool& operator=(const block_pool&) = delete;
-
-    ~block_pool() {
-        for (std::size_t c = 0; c < max_chunks; ++c) {
-            std::byte* chunk = chunks_[c].load(std::memory_order_relaxed);
-            if (chunk != nullptr) {
-                if (track_stats_) note_free(chunk_bytes);
-                ::operator delete[](chunk, std::align_val_t{slot_align});
-            }
-        }
-    }
 
     /// Returns a BlockSize-byte region. Lock-free; recycled blocks are
     /// returned most-recently-freed first.
@@ -64,26 +59,25 @@ class block_pool {
     /// receive stale accesses from their previous life and must not be
     /// blindly re-initialized (see containers::valois_stack).
     void* allocate_ex(bool& fresh) {
-        // Fast path: pop the freelist.
+        // Fast path: pop the freelist. The pre-read `next` is only valid if
+        // the head did not change underneath us — the tag turns "same index,
+        // different list" into a CAS failure.
         std::uint64_t head = head_.load(std::memory_order_acquire);
-        while (index_of(head) != null_index) {
-            std::byte* slot = slot_at(index_of(head));
+        while (tagged_head::index_of(head) != tagged_head::null_index) {
+            std::byte* slot = dir_.slot_at(tagged_head::index_of(head));
             std::uint32_t next;
             std::memcpy(&next, slot + sizeof(std::uint32_t), sizeof(next));
-            const std::uint64_t desired = pack(tag_of(head) + 1, next);
+            const std::uint64_t desired =
+                tagged_head::pack(tagged_head::tag_of(head) + 1, next);
             if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
                 fresh = false;
                 return slot + header_bytes;
             }
         }
-        // Slow path: carve a fresh block.
+        // Slow path: carve a fresh block and stamp its index.
         fresh = true;
-        const std::uint64_t block_index = fresh_.fetch_add(1, std::memory_order_relaxed);
-        const std::size_t chunk_index = block_index / blocks_per_chunk;
-        if (chunk_index >= max_chunks) throw std::bad_alloc{};
-        std::byte* chunk = ensure_chunk(chunk_index);
-        std::byte* slot = chunk + (block_index % blocks_per_chunk) * slot_bytes;
-        const auto index = static_cast<std::uint32_t>(block_index);
+        std::uint32_t index;
+        std::byte* slot = dir_.carve(index);
         std::memcpy(slot, &index, sizeof(index));
         return slot + header_bytes;
     }
@@ -94,68 +88,27 @@ class block_pool {
         std::memcpy(&index, slot, sizeof(index));
         std::uint64_t head = head_.load(std::memory_order_acquire);
         for (;;) {
-            const std::uint32_t old_top = index_of(head);
+            const std::uint32_t old_top = tagged_head::index_of(head);
             std::memcpy(slot + sizeof(std::uint32_t), &old_top, sizeof(old_top));
-            const std::uint64_t desired = pack(tag_of(head) + 1, index);
+            const std::uint64_t desired =
+                tagged_head::pack(tagged_head::tag_of(head) + 1, index);
             if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) return;
         }
     }
 
     /// Bytes this pool holds from the system (never decreases while alive).
-    std::size_t footprint_bytes() const noexcept {
-        std::size_t chunks = 0;
-        for (std::size_t c = 0; c < max_chunks; ++c) {
-            if (chunks_[c].load(std::memory_order_relaxed) != nullptr) ++chunks;
-        }
-        return chunks * chunk_bytes;
-    }
+    std::size_t footprint_bytes() const noexcept { return dir_.footprint_bytes(); }
 
-    std::uint64_t blocks_carved() const noexcept {
-        return fresh_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t blocks_carved() const noexcept { return dir_.slots_carved(); }
 
   private:
     static constexpr std::size_t header_bytes = 8;  // 4B index + 4B freelist next
-    static constexpr std::size_t slot_align = 16;
+    static constexpr std::size_t slot_align = slab_directory::slot_align;
     static constexpr std::size_t slot_bytes =
         (header_bytes + BlockSize + slot_align - 1) / slot_align * slot_align;
-    static constexpr std::size_t chunk_bytes = slot_bytes * blocks_per_chunk;
-    static constexpr std::uint32_t null_index = 0xffffffffu;
 
-    static std::uint32_t index_of(std::uint64_t head) noexcept {
-        return static_cast<std::uint32_t>(head);
-    }
-    static std::uint32_t tag_of(std::uint64_t head) noexcept {
-        return static_cast<std::uint32_t>(head >> 32);
-    }
-    static std::uint64_t pack(std::uint32_t tag, std::uint32_t index) noexcept {
-        return (static_cast<std::uint64_t>(tag) << 32) | index;
-    }
-
-    std::byte* slot_at(std::uint32_t index) const noexcept {
-        std::byte* chunk = chunks_[index / blocks_per_chunk].load(std::memory_order_acquire);
-        return chunk + (index % blocks_per_chunk) * slot_bytes;
-    }
-
-    std::byte* ensure_chunk(std::size_t chunk_index) {
-        std::byte* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
-        if (chunk != nullptr) return chunk;
-        auto* fresh_chunk = static_cast<std::byte*>(
-            ::operator new[](chunk_bytes, std::align_val_t{slot_align}));
-        std::byte* expected = nullptr;
-        if (chunks_[chunk_index].compare_exchange_strong(expected, fresh_chunk,
-                                                         std::memory_order_acq_rel)) {
-            if (track_stats_) note_alloc(chunk_bytes);
-            return fresh_chunk;
-        }
-        ::operator delete[](fresh_chunk, std::align_val_t{slot_align});
-        return expected;
-    }
-
-    const bool track_stats_ = true;
-    std::atomic<std::uint64_t> head_{pack(0, null_index)};
-    std::atomic<std::uint64_t> fresh_{0};
-    std::atomic<std::byte*> chunks_[max_chunks] = {};
+    slab_directory dir_;
+    std::atomic<std::uint64_t> head_{tagged_head::pack(0, tagged_head::null_index)};
 };
 
 /// Typed facade: allocate() gives raw storage for a T (caller placement-news

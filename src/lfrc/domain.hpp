@@ -401,6 +401,7 @@ class basic_domain {
     template <typename T, typename... Args>
     static local_ptr<T> make(Args&&... args) {
         static_assert(std::is_base_of_v<object, T>);
+        // lfrc-lint: arena-route — object : counted_base
         return local_ptr<T>::adopt(new T(std::forward<Args>(args)...));
     }
 
@@ -831,7 +832,7 @@ class basic_domain {
         p->lfrc_visit_children(children);
         counters().add_destroyed(1);
         reclaim::epoch_domain::global().retire(
-            p, [](void* q) { delete static_cast<object*>(q); });
+            p, [](void* q) { delete static_cast<object*>(q); });  // lfrc-lint: arena-route
     }
 };
 

@@ -141,6 +141,7 @@ class runtime {
 
     static runtime& instance() {
         // Leaked: releases can happen during static destruction.
+        // lfrc-lint: exempt(R4) — runtime is infrastructure, not a node
         static auto* r = new runtime;
         return *r;
     }
@@ -274,7 +275,7 @@ class runtime {
                             n->review_stamp_.load(std::memory_order_seq_cst);
                         if (g >= st + 2) {
                             n->smr_release_children_();
-                            delete n;
+                            delete n;  // lfrc-lint: arena-route
                             home.count.fetch_sub(1, std::memory_order_relaxed);
                             ++freed;
                         } else {
@@ -484,6 +485,7 @@ class deferred {
 
     template <typename Node, typename... Args>
     owner<Node> make_owner(Args&&... args) {
+        // lfrc-lint: arena-route — deferred_node : counted_base
         return owner<Node>(new Node(std::forward<Args>(args)...));
     }
     template <typename Node>

@@ -67,11 +67,12 @@ class manual_policy {
     class owner {
       public:
         owner() = default;
+        // lfrc-lint: arena-route — counted_base operator delete
         ~owner() { delete p_; }
         owner(owner&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
         owner& operator=(owner&& o) noexcept {
             if (this != &o) {
-                delete p_;
+                delete p_;  // lfrc-lint: arena-route
                 p_ = o.p_;
                 o.p_ = nullptr;
             }
@@ -92,6 +93,7 @@ class manual_policy {
 
     template <typename Node, typename... Args>
     owner<Node> make_owner(Args&&... args) {
+        // lfrc-lint: arena-route — Node derives counted_base; this IS the seam
         return owner<Node>(new Node(std::forward<Args>(args)...));
     }
     template <typename Node>
@@ -143,7 +145,7 @@ class manual_policy {
         while (n != nullptr) {
             Node* next = n->next.exclusive_get();
             if constexpr (requires { n->smr_dispose(); }) n->smr_dispose();
-            delete n;
+            delete n;  // lfrc-lint: arena-route
             n = next;
         }
     }

@@ -1,0 +1,36 @@
+// Negative probe for the arena/ASan interop (scripts/ci.sh asan cell).
+//
+// Arena recycling never returns node storage to the system allocator, which
+// would silently blind AddressSanitizer to use-after-free on nodes — unless
+// the arena manually poisons payloads on free and unpoisons on allocate
+// (alloc/arena.hpp). This probe performs exactly the bug that poisoning
+// must keep visible: allocate a block, free it, read through the stale
+// pointer. Under LFRC_SANITIZE=address it MUST die (the CI cell inverts the
+// exit status); anywhere else it exits 2 (probe inconclusive) so it can
+// never masquerade as a passing test in an unsanitized tree.
+#include <cstdio>
+#include <cstring>
+
+#include "alloc/arena.hpp"
+
+int main() {
+#if !defined(LFRC_ARENA_ASAN)
+    std::fprintf(stderr,
+                 "arena_uaf_probe: built without AddressSanitizer — "
+                 "inconclusive\n");
+    return 2;
+#else
+    auto& a = lfrc::alloc::arena::instance();
+    char* p = static_cast<char*>(a.allocate(64));
+    std::memset(p, 0x5a, 64);
+    a.deallocate(p, 64);
+    // Use-after-free: the payload is poisoned until its next allocation,
+    // so this read must trigger an ASan report and abort the process.
+    volatile char stale = p[0];
+    std::fprintf(stderr,
+                 "arena_uaf_probe: read freed arena payload (0x%02x) without "
+                 "ASan objecting — manual poisoning is broken\n",
+                 static_cast<unsigned char>(stale));
+    return 1;
+#endif
+}

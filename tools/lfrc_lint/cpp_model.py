@@ -23,7 +23,7 @@ import re
 from dataclasses import dataclass, field
 
 
-ANNOTATION_RE = re.compile(r"lfrc-lint:\s*([a-z0-9\-(), ]+)")
+ANNOTATION_RE = re.compile(r"lfrc-lint:\s*([a-zA-Z0-9\-(), ]+)")
 EXPECT_RE = re.compile(r"lint-expect:\s*(R[1-5](?:\s*,\s*R[1-5])*)")
 
 

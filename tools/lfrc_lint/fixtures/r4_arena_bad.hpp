@@ -1,0 +1,29 @@
+// lfrc_lint fixture — R4 policy-internal leg: now that alloc::counted_base
+// routes every node through lfrc::alloc::arena, a direct new/delete of a
+// managed node type is a violation even INSIDE policy code unless the
+// expression is annotated as the seam itself — an unannotated site bypasses
+// the arena (no magazine reuse, no ASan poisoning, no footprint accounting).
+// lfrc-lint-scope: policy-internal
+#pragma once
+
+#include <cstddef>
+
+namespace fixture {
+
+struct r4_arena_bad_node : lfrc::alloc::counted_base {
+    r4_arena_bad_node* next = nullptr;
+    int value = 0;
+};
+
+// A policy-internal helper minting nodes off the sanctioned seam: this new
+// resolves to counted_base::operator new, but nothing marks it as the
+// make_owner seam, so the lint cannot tell it from an accidental bypass.
+inline r4_arena_bad_node* mint_unrouted() {
+    return new r4_arena_bad_node();  // lint-expect: R4
+}
+
+inline void drop_unrouted(r4_arena_bad_node* n) {
+    delete n;  // lint-expect: R4
+}
+
+}  // namespace fixture

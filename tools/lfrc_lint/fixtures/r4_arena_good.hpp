@@ -1,0 +1,35 @@
+// lfrc_lint fixture — R4 policy-internal leg, clean: the make_owner-style
+// mint and the owner-teardown delete each carry '// lfrc-lint: arena-route',
+// asserting the expression resolves to alloc::counted_base operator
+// new/delete (i.e. it IS the arena seam, not a bypass); satellite teardown
+// stays inside the sanctioned smr_dispose hook.
+// lfrc-lint-scope: policy-internal
+#pragma once
+
+#include <cstddef>
+
+namespace fixture {
+
+struct r4_arena_payload {
+    int bytes[4];
+};
+
+struct r4_arena_good_node : lfrc::alloc::counted_base {
+    r4_arena_good_node* next = nullptr;
+    r4_arena_payload* val = nullptr;
+
+    void smr_dispose() {
+        delete val;
+    }
+};
+
+inline r4_arena_good_node* mint_routed() {
+    // lfrc-lint: arena-route — counted_base operator new, the seam itself
+    return new r4_arena_good_node();
+}
+
+inline void drop_routed(r4_arena_good_node* n) {
+    delete n;  // lfrc-lint: arena-route
+}
+
+}  // namespace fixture

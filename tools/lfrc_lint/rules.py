@@ -24,8 +24,17 @@ Escape hatches are explicit and greppable:
   // lfrc-lint: escape-ok          R2 — pointer escape reviewed by hand
   // lfrc-lint: quiescent          R1 — exclusive-access phase (ctor/dtor/
                                    single-owner accessor)
+  // lfrc-lint: arena-route        R4 — policy-internal new/delete that IS
+                                   the owner seam: the expression resolves
+                                   to alloc::counted_base operator
+                                   new/delete, i.e. the arena route itself
   // lfrc-lint: exempt(Rn)         any rule, with the rule named
 Each hatch suppresses one line; none are wildcards over a file.
+
+A file outside the policy directories can opt into the policy-internal
+zone with a file-scope pragma (used by the fixture corpus, which lives
+under tools/ rather than src/):
+  // lfrc-lint-scope: policy-internal
 """
 
 from __future__ import annotations
@@ -95,9 +104,14 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def is_policy_internal(relpath: str) -> bool:
+SCOPE_PRAGMA_RE = re.compile(r"lfrc-lint-scope:\s*policy-internal")
+
+
+def is_policy_internal(relpath: str, model: SourceModel | None = None) -> bool:
     p = relpath.replace("\\", "/")
-    return any(p.startswith(d) or f"/{d}" in p for d in POLICY_INTERNAL_DIRS)
+    if any(p.startswith(d) or f"/{d}" in p for d in POLICY_INTERNAL_DIRS):
+        return True
+    return model is not None and bool(SCOPE_PRAGMA_RE.search(model.text))
 
 
 def is_managed_node(ci: ClassInfo) -> bool:
@@ -148,7 +162,7 @@ class RuleContext:
 
 def check_r1(ctx: RuleContext):
     model = ctx.model
-    if is_policy_internal(ctx.relpath):
+    if is_policy_internal(ctx.relpath, model):
         return
 
     # (a) managed node classes must use policy field types, not raw atomics.
@@ -296,7 +310,7 @@ def _escaping_helper_params(model: SourceModel) -> dict[str, set[int]]:
 
 def check_r2(ctx: RuleContext):
     model = ctx.model
-    if is_policy_internal(ctx.relpath):
+    if is_policy_internal(ctx.relpath, model):
         return
     helpers = _escaping_helper_params(model)
 
@@ -420,7 +434,7 @@ def _success_dominated(model: SourceModel, off: int) -> bool:
 
 def check_r3(ctx: RuleContext):
     model = ctx.model
-    if is_policy_internal(ctx.relpath):
+    if is_policy_internal(ctx.relpath, model):
         return
     for m in re.finditer(r"\bretire_unlinked\s*\(", model.stripped):
         # skip declarations/definitions of the op itself
@@ -440,11 +454,24 @@ def check_r3(ctx: RuleContext):
 
 
 # ---- R4: no new/delete of node types outside owner/policy ----------------
+#
+# Two legs share one walk:
+#   client leg     (original rule) any new/delete in node-managing client
+#                  code is a violation — allocation goes through
+#                  make_owner/publish_ok, reclamation through
+#                  retire_unlinked/reset_chain.
+#   internal leg   now that alloc::counted_base routes every node through
+#                  lfrc::alloc::arena, `owner` is the ONLY sanctioned
+#                  allocation path even inside policy code: a direct
+#                  new/delete of a managed node type would bypass the arena
+#                  (and its poisoning/accounting). The make_owner / owner
+#                  teardown expressions that ARE the seam carry
+#                  '// lfrc-lint: arena-route'; anything unannotated is a
+#                  bypass.
 
 def check_r4(ctx: RuleContext):
     model = ctx.model
-    if is_policy_internal(ctx.relpath):
-        return
+    internal = is_policy_internal(ctx.relpath, model)
     if not ctx.managed:
         return  # no policy-managed nodes here: plain-heap code is out of scope
     for regex, what in ((NEW_EXPR_RE, "new"), (DELETE_EXPR_RE, "delete")):
@@ -461,11 +488,22 @@ def check_r4(ctx: RuleContext):
                 fname = nm.group(1) if nm else ""
             if fname == "smr_dispose":
                 continue  # the policy contract's sanctioned teardown hook
-            ctx.report(
-                "R4", m.start(),
-                f"direct {what} in node-managing code — allocation must go "
-                f"through policy make_owner/publish_ok and reclamation "
-                f"through retire_unlinked/reset_chain")
+            if internal:
+                if model.annotated(line, "arena-route"):
+                    continue
+                ctx.report(
+                    "R4", m.start(),
+                    f"direct {what} inside policy-internal node code — node "
+                    f"storage must route through alloc::counted_base (the "
+                    f"arena seam); annotate '// lfrc-lint: arena-route' only "
+                    f"where the expression resolves to counted_base's "
+                    f"operator {what}")
+            else:
+                ctx.report(
+                    "R4", m.start(),
+                    f"direct {what} in node-managing code — allocation must "
+                    f"go through policy make_owner/publish_ok and "
+                    f"reclamation through retire_unlinked/reset_chain")
 
 
 # ---- R5: smr_children completeness ---------------------------------------

@@ -38,12 +38,40 @@ for cell in "${cells[@]}"; do
       # heavyweight analyzers below are outside this budget.
       SECONDS=0
       run_cell analysis python3 tools/lfrc_lint/lfrc_lint.py --root . --self-test
-      # The real gate: src/ must lint clean. Fails fast on any finding.
-      python3 tools/lfrc_lint/lfrc_lint.py --root . src
+      # The real gate: src/ must lint clean. Fails fast on any finding. The
+      # same run emits the machine-readable SARIF artifact CI dashboards
+      # consume and regenerates the R6 fence-pairing table.
+      mkdir -p build-analysis
+      python3 tools/lfrc_lint/lfrc_lint.py --root . \
+        --sarif build-analysis/lfrc_lint.sarif \
+        --order-table build-analysis/fence_pairings.md src
+      # SARIF sanity: well-formed 2.1.0 with the expected driver, so a
+      # half-written artifact can't be uploaded as a green result.
+      python3 - <<'PY'
+import json
+with open("build-analysis/lfrc_lint.sarif") as fh:
+    doc = json.load(fh)
+assert doc["version"] == "2.1.0", doc.get("version")
+runs = doc["runs"]
+assert runs and runs[0]["tool"]["driver"]["name"] == "lfrc_lint"
+print(f"analysis: SARIF ok ({len(runs[0].get('results', []))} result(s))")
+PY
+      # Fence-table freshness: the committed docs/fence_pairings.md must
+      # match what the annotations actually say — a memory-order edit that
+      # skips the regeneration step fails here, not in review.
+      if ! diff -u docs/fence_pairings.md build-analysis/fence_pairings.md; then
+        echo "analysis: docs/fence_pairings.md is stale — regenerate with:" >&2
+        echo "  python3 tools/lfrc_lint/lfrc_lint.py --root . --order-table docs/fence_pairings.md src" >&2
+        exit 1
+      fi
       if (( SECONDS >= 30 )); then
         echo "analysis: mandatory lint took ${SECONDS}s — over the 30 s fail-fast budget" >&2
         exit 1
       fi
+      # AST second opinion (tidy_checks.py): opportunistic — degrades to a
+      # notice where libclang python bindings are absent, fails the cell
+      # where they exist and find a violation.
+      python3 tools/lfrc_lint/lfrc_lint.py --root . --tidy src
       # Heavier analyzers ride along where the host has them. The container
       # images bake in only the base toolchain, so absence is a notice,
       # not a failure — lfrc_lint above is the mandatory check.
@@ -88,6 +116,21 @@ for cell in "${cells[@]}"; do
       # ASan cells still run them in full).
       ctest --test-dir build-thread --output-on-failure \
         -E '^(test_alloc|test_valois)$'
+      # R6's dynamic twin, both legs (tests/order_race_probe.cpp). Clean
+      # orders first: the choreography itself must be race-free, so a
+      # failure here is a real arena bug, not probe noise.
+      ./build-thread/tests/order_race_probe
+      # Mutant leg, inverted: the seeded weaken-the-pop-acquire mutation
+      # severs the remote-head release/acquire pairing, and TSan MUST
+      # report the recycled-payload race. The probe surviving means the
+      # pairing the fence table documents is not actually load-bearing —
+      # fail the cell.
+      if ./build-thread/tests/order_race_probe --mutant 2>/dev/null; then
+        echo "tsan: order_race_probe --mutant survived — weakened remote-pop orders produced no race" >&2
+        exit 1
+      else
+        echo "tsan: order_race_probe --mutant died as required (remote-head pairing is load-bearing)"
+      fi
       ;;
     asan)
       run_cell asan cmake -B build-address -G Ninja -DLFRC_SANITIZE=address

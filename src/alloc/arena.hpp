@@ -149,7 +149,7 @@ class arena {
     void* allocate(std::size_t sz) {
         const int k = klass_of(sz);
         if (k < 0 || !enabled()) {
-            fallback_allocs_.fetch_add(1, std::memory_order_relaxed);
+            fallback_allocs_.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
             return ::operator new(sz);
         }
         class_state& cs = *classes_[static_cast<std::size_t>(k)];
@@ -157,24 +157,27 @@ class arena {
         shard& sh = cs.shards[s];
 
         // 1) magazine: owner-only array pop, no atomics on the hit path.
-        const std::uint32_t n = sh.mag_count.load(std::memory_order_relaxed);
+        const std::uint32_t n = sh.mag_count.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
         if (n != 0) {
             const std::uint32_t idx = sh.magazine[n - 1];
-            sh.mag_count.store(n - 1, std::memory_order_relaxed);
+            sh.mag_count.store(n - 1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
             tick(sh.magazine_hits);
             return payload_of(cs, idx);
         }
 
         // 2) own remote list: single-block tagged pop. `next` is read
         // BEFORE the CAS — the advanced tag is what makes that sound.
-        std::uint64_t head = sh.remote_head.load(std::memory_order_acquire);
+        // Orders come from pop_load_order/pop_cas_order (acquire/acq_rel;
+        // both ends of the `remote-head` pairing are annotated there) so
+        // the R6 mutation can sever the edge for the TSan twin.
+        std::uint64_t head = sh.remote_head.load(pop_load_order());
         while (tagged_head::index_of(head) != tagged_head::null_index) {
             const std::uint32_t idx = tagged_head::index_of(head);
             const std::uint32_t next = load_next(cs.dir.slot_at(idx));
             const std::uint64_t desired =
                 tagged_head::pack(next_tag(tagged_head::tag_of(head)), next);
             if (sh.remote_head.compare_exchange_weak(head, desired,
-                                                     std::memory_order_acq_rel)) {
+                                                     pop_cas_order())) {
                 tick(sh.remote_pops);
                 return payload_of(cs, idx);
             }
@@ -187,11 +190,11 @@ class arena {
         for (std::size_t t = 0; t < high; ++t) {
             if (t == s) continue;
             shard& peer = cs.shards[t];
-            std::uint64_t ph = peer.remote_head.load(std::memory_order_acquire);
+            std::uint64_t ph = peer.remote_head.load(std::memory_order_acquire);  // lfrc-lint: order(remote-head)
             while (tagged_head::index_of(ph) != tagged_head::null_index) {
                 const std::uint64_t empty = tagged_head::pack(
                     next_tag(tagged_head::tag_of(ph)), tagged_head::null_index);
-                if (peer.remote_head.compare_exchange_weak(ph, empty,
+                if (peer.remote_head.compare_exchange_weak(ph, empty,  // lfrc-lint: order(remote-head)
                                                            std::memory_order_acq_rel)) {
                     tick(sh.chain_steals);
                     return adopt_chain(cs, sh, tagged_head::index_of(ph));
@@ -228,10 +231,10 @@ class arena {
         const std::size_t s = util::thread_registry::instance().slot();
         shard& sh = cs.shards[s];
         if (h.home == s) {
-            const std::uint32_t n = sh.mag_count.load(std::memory_order_relaxed);
+            const std::uint32_t n = sh.mag_count.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
             if (n < magazine_cap) {
                 sh.magazine[n] = h.index;
-                sh.mag_count.store(n + 1, std::memory_order_relaxed);
+                sh.mag_count.store(n + 1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
                 tick(sh.local_frees);
                 return;
             }
@@ -264,14 +267,14 @@ class arena {
             out.carved += cs.dir.slots_carved();
             for (std::size_t s = 0; s < high; ++s) {
                 const shard& sh = cs.shards[s];
-                out.magazine_hits += sh.magazine_hits.load(std::memory_order_relaxed);
-                out.remote_pops += sh.remote_pops.load(std::memory_order_relaxed);
-                out.chain_steals += sh.chain_steals.load(std::memory_order_relaxed);
-                out.local_frees += sh.local_frees.load(std::memory_order_relaxed);
-                out.remote_frees += sh.remote_frees.load(std::memory_order_relaxed);
+                out.magazine_hits += sh.magazine_hits.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+                out.remote_pops += sh.remote_pops.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+                out.chain_steals += sh.chain_steals.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+                out.local_frees += sh.local_frees.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+                out.remote_frees += sh.remote_frees.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
             }
         }
-        out.fallback_allocs = fallback_allocs_.load(std::memory_order_relaxed);
+        out.fallback_allocs = fallback_allocs_.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
         return out;
     }
 
@@ -283,6 +286,21 @@ class arena {
     /// pre-read `next`, handing one block to two owners. This is the
     /// classic recycled-freelist bug the tag exists to exclude.
     static std::atomic<bool>& mutate_strip_arena_tag() noexcept {
+        static std::atomic<bool> flag{false};
+        return flag;
+    }
+
+    /// Seeded memory-order bug for R6's dynamic twin (tests/
+    /// order_race_probe.cpp): when set, the owner's single-block remote pop
+    /// runs BOTH its head pre-read and its claiming CAS relaxed, severing
+    /// the `remote-head` release/acquire pairing (docs/fence_pairings.md).
+    /// A popped block then reaches the allocator's caller with no
+    /// happens-before edge from the remote freer's last payload writes —
+    /// a data race TSan reports on the first cross-thread recycle. Either
+    /// order alone restores the edge (the CAS's success order or the
+    /// pre-read's acquire), which is exactly why R6 makes every site of
+    /// the pairing name it: weakening one end is invisible to eyeballs.
+    static std::atomic<bool>& mutate_weaken_pop_acquire() noexcept {
         static std::atomic<bool> flag{false};
         return flag;
     }
@@ -313,12 +331,12 @@ class arena {
     static std::uint32_t load_next(std::byte* slot) noexcept {
         return std::atomic_ref<std::uint32_t>(
                    *reinterpret_cast<std::uint32_t*>(slot + next_offset))
-            .load(std::memory_order_relaxed);
+            .load(std::memory_order_relaxed);  // lfrc-lint: order(next-link)
     }
     static void store_next(std::byte* slot, std::uint32_t v) noexcept {
         std::atomic_ref<std::uint32_t>(
             *reinterpret_cast<std::uint32_t*>(slot + next_offset))
-            .store(v, std::memory_order_relaxed);
+            .store(v, std::memory_order_relaxed);  // lfrc-lint: order(next-link)
     }
 
     /// Per (class × registry slot) free storage. The magazine half is
@@ -355,14 +373,35 @@ class arena {
     /// Tag successor for every head CAS; the mutation strips the advance.
     static std::uint32_t next_tag(std::uint32_t tag) noexcept {
 #if defined(LFRC_ENABLE_MUTATIONS)
-        if (mutate_strip_arena_tag().load(std::memory_order_relaxed)) return tag;
+        if (mutate_strip_arena_tag().load(std::memory_order_relaxed)) return tag;  // lfrc-lint: order(unpaired-mutation-flag)
 #endif
         return tag + 1;  // 32-bit wraparound is benign: equality is all that matters
     }
 
+    /// Memory orders for the owner's single-block remote pop (allocate
+    /// step 2). Funneled through one place so the R6 mutation can weaken
+    /// both ends at once; these ARE the pop side of the `remote-head`
+    /// pairing — see docs/fence_pairings.md.
+    static std::memory_order pop_load_order() noexcept {
+#if defined(LFRC_ENABLE_MUTATIONS)
+        if (mutate_weaken_pop_acquire().load(std::memory_order_relaxed)) {  // lfrc-lint: order(unpaired-mutation-flag)
+            return std::memory_order_relaxed;  // lfrc-lint: order(remote-head)
+        }
+#endif
+        return std::memory_order_acquire;  // lfrc-lint: order(remote-head)
+    }
+    static std::memory_order pop_cas_order() noexcept {
+#if defined(LFRC_ENABLE_MUTATIONS)
+        if (mutate_weaken_pop_acquire().load(std::memory_order_relaxed)) {  // lfrc-lint: order(unpaired-mutation-flag)
+            return std::memory_order_relaxed;  // lfrc-lint: order(remote-head)
+        }
+#endif
+        return std::memory_order_acq_rel;  // lfrc-lint: order(remote-head)
+    }
+
     static void tick(std::atomic<std::uint64_t>& c) noexcept {
         // Owner-only counter: load+store, no RMW on the hot path.
-        c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+        c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
     }
 
     void* payload_of(class_state& cs, std::uint32_t idx) noexcept {
@@ -378,13 +417,13 @@ class arena {
     /// single-owner code.
     void* adopt_chain(class_state& cs, shard& sh, std::uint32_t first) noexcept {
         std::uint32_t cur = load_next(cs.dir.slot_at(first));
-        std::uint32_t n = sh.mag_count.load(std::memory_order_relaxed);
+        std::uint32_t n = sh.mag_count.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
         while (cur != tagged_head::null_index && n < magazine_cap) {
             const std::uint32_t nxt = load_next(cs.dir.slot_at(cur));
             sh.magazine[n++] = cur;
             cur = nxt;
         }
-        sh.mag_count.store(n, std::memory_order_relaxed);
+        sh.mag_count.store(n, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
         while (cur != tagged_head::null_index) {
             const std::uint32_t nxt = load_next(cs.dir.slot_at(cur));
             push_remote(cs, sh, cur);
@@ -395,12 +434,12 @@ class arena {
 
     void push_remote(class_state& cs, shard& dst, std::uint32_t index) noexcept {
         std::byte* slot = cs.dir.slot_at(index);
-        std::uint64_t head = dst.remote_head.load(std::memory_order_acquire);
+        std::uint64_t head = dst.remote_head.load(std::memory_order_acquire);  // lfrc-lint: order(remote-head)
         for (;;) {
             store_next(slot, tagged_head::index_of(head));
             const std::uint64_t desired =
                 tagged_head::pack(next_tag(tagged_head::tag_of(head)), index);
-            if (dst.remote_head.compare_exchange_weak(head, desired,
+            if (dst.remote_head.compare_exchange_weak(head, desired,  // lfrc-lint: order(remote-head)
                                                       std::memory_order_acq_rel)) {
                 return;
             }
@@ -422,19 +461,19 @@ struct arena_testing {
     static int klass_of(std::size_t sz) noexcept { return arena::klass_of(sz); }
 
     static std::uint64_t remote_head(const arena& a, std::size_t k, std::size_t s) noexcept {
-        return a.classes_[k]->shards[s].remote_head.load(std::memory_order_acquire);
+        return a.classes_[k]->shards[s].remote_head.load(std::memory_order_acquire);  // lfrc-lint: order(remote-head)
     }
     /// Force a shard's remote tag (wraparound tests).
     static void set_remote_tag(arena& a, std::size_t k, std::size_t s,
                                std::uint32_t tag) noexcept {
         auto& head = a.classes_[k]->shards[s].remote_head;
-        const std::uint64_t cur = head.load(std::memory_order_acquire);
-        head.store(tagged_head::pack(tag, tagged_head::index_of(cur)),
+        const std::uint64_t cur = head.load(std::memory_order_acquire);  // lfrc-lint: order(remote-head)
+        head.store(tagged_head::pack(tag, tagged_head::index_of(cur)),  // lfrc-lint: order(remote-head)
                    std::memory_order_release);
     }
     static std::uint32_t magazine_size(const arena& a, std::size_t k,
                                        std::size_t s) noexcept {
-        return a.classes_[k]->shards[s].mag_count.load(std::memory_order_relaxed);
+        return a.classes_[k]->shards[s].mag_count.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-magazine)
     }
     static std::uint16_t home_of(const void* payload) noexcept {
         arena::block_header h;

@@ -62,14 +62,14 @@ class block_pool {
         // Fast path: pop the freelist. The pre-read `next` is only valid if
         // the head did not change underneath us — the tag turns "same index,
         // different list" into a CAS failure.
-        std::uint64_t head = head_.load(std::memory_order_acquire);
+        std::uint64_t head = head_.load(std::memory_order_acquire);  // lfrc-lint: order(pool-head)
         while (tagged_head::index_of(head) != tagged_head::null_index) {
             std::byte* slot = dir_.slot_at(tagged_head::index_of(head));
             std::uint32_t next;
             std::memcpy(&next, slot + sizeof(std::uint32_t), sizeof(next));
             const std::uint64_t desired =
                 tagged_head::pack(tagged_head::tag_of(head) + 1, next);
-            if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {
+            if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) {  // lfrc-lint: order(pool-head)
                 fresh = false;
                 return slot + header_bytes;
             }
@@ -86,13 +86,13 @@ class block_pool {
         auto* slot = static_cast<std::byte*>(p) - header_bytes;
         std::uint32_t index;
         std::memcpy(&index, slot, sizeof(index));
-        std::uint64_t head = head_.load(std::memory_order_acquire);
+        std::uint64_t head = head_.load(std::memory_order_acquire);  // lfrc-lint: order(pool-head)
         for (;;) {
             const std::uint32_t old_top = tagged_head::index_of(head);
             std::memcpy(slot + sizeof(std::uint32_t), &old_top, sizeof(old_top));
             const std::uint64_t desired =
                 tagged_head::pack(tagged_head::tag_of(head) + 1, index);
-            if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) return;
+            if (head_.compare_exchange_weak(head, desired, std::memory_order_acq_rel)) return;  // lfrc-lint: order(pool-head)
         }
     }
 

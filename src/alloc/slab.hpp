@@ -82,7 +82,7 @@ class slab_directory {
 
     ~slab_directory() {
         for (std::size_t c = 0; c < max_chunks; ++c) {
-            std::byte* chunk = chunks_[c].load(std::memory_order_relaxed);
+            std::byte* chunk = chunks_[c].load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-dtor-teardown)
             if (chunk == nullptr) continue;
             if (track_stats_) note_free(chunk_bytes_);
             release_chunk(chunk);
@@ -92,7 +92,7 @@ class slab_directory {
     /// Carve one never-used slot; returns its storage and writes its index.
     /// Lock-free; throws bad_alloc past max_chunks * slots_per_chunk.
     std::byte* carve(std::uint32_t& index) {
-        const std::uint64_t slot = fresh_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t slot = fresh_.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-fresh-cursor)
         const std::size_t chunk_index = slot / slots_per_chunk;
         if (chunk_index >= max_chunks) throw std::bad_alloc{};
         std::byte* chunk = ensure_chunk(chunk_index);
@@ -103,7 +103,7 @@ class slab_directory {
     /// Resolve an index carve() handed out earlier. The chunk pointer is
     /// immutable once installed, so this is one acquire load + arithmetic.
     std::byte* slot_at(std::uint32_t index) const noexcept {
-        std::byte* chunk = chunks_[index / slots_per_chunk].load(std::memory_order_acquire);
+        std::byte* chunk = chunks_[index / slots_per_chunk].load(std::memory_order_acquire);  // lfrc-lint: order(chunk-install)
         return chunk + (index % slots_per_chunk) * slot_bytes_;
     }
 
@@ -113,13 +113,13 @@ class slab_directory {
     std::size_t footprint_bytes() const noexcept {
         std::size_t chunks = 0;
         for (std::size_t c = 0; c < max_chunks; ++c) {
-            if (chunks_[c].load(std::memory_order_relaxed) != nullptr) ++chunks;
+            if (chunks_[c].load(std::memory_order_relaxed) != nullptr) ++chunks;  // lfrc-lint: order(unpaired-footprint-scan)
         }
         return chunks * chunk_bytes_;
     }
 
     std::uint64_t slots_carved() const noexcept {
-        return fresh_.load(std::memory_order_relaxed);
+        return fresh_.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-fresh-cursor)
     }
 
   private:
@@ -154,11 +154,11 @@ class slab_directory {
     }
 
     std::byte* ensure_chunk(std::size_t chunk_index) {
-        std::byte* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+        std::byte* chunk = chunks_[chunk_index].load(std::memory_order_acquire);  // lfrc-lint: order(chunk-install)
         if (chunk != nullptr) return chunk;
         std::byte* fresh_chunk = acquire_chunk();
         std::byte* expected = nullptr;
-        if (chunks_[chunk_index].compare_exchange_strong(expected, fresh_chunk,
+        if (chunks_[chunk_index].compare_exchange_strong(expected, fresh_chunk,  // lfrc-lint: order(chunk-install)
                                                          std::memory_order_acq_rel)) {
             if (track_stats_) note_alloc(chunk_bytes_);
             return fresh_chunk;

@@ -15,29 +15,29 @@ std::atomic<std::uint64_t> g_total_frees{0};
 }  // namespace
 
 void note_alloc(std::size_t bytes) noexcept {
-    g_live_bytes.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
-    g_live_objects.fetch_add(1, std::memory_order_relaxed);
-    g_total_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_live_bytes.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    g_live_objects.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    g_total_allocations.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
 }
 
 void note_free(std::size_t bytes) noexcept {
-    g_live_bytes.fetch_sub(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
-    g_live_objects.fetch_sub(1, std::memory_order_relaxed);
-    g_total_frees.fetch_add(1, std::memory_order_relaxed);
+    g_live_bytes.fetch_sub(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    g_live_objects.fetch_sub(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    g_total_frees.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
 }
 
 stats_snapshot snapshot() noexcept {
     stats_snapshot s;
-    s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
-    s.live_objects = g_live_objects.load(std::memory_order_relaxed);
-    s.total_allocations = g_total_allocations.load(std::memory_order_relaxed);
-    s.total_frees = g_total_frees.load(std::memory_order_relaxed);
+    s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    s.live_objects = g_live_objects.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    s.total_allocations = g_total_allocations.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
+    s.total_frees = g_total_frees.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
     return s;
 }
 
-std::int64_t live_bytes() noexcept { return g_live_bytes.load(std::memory_order_relaxed); }
+std::int64_t live_bytes() noexcept { return g_live_bytes.load(std::memory_order_relaxed); }  // lfrc-lint: order(unpaired-stats-counter)
 std::int64_t live_objects() noexcept {
-    return g_live_objects.load(std::memory_order_relaxed);
+    return g_live_objects.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
 }
 
 }  // namespace lfrc::alloc

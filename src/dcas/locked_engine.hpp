@@ -26,13 +26,13 @@ class locked_engine {
     static const char* name() noexcept { return "locked"; }
 
     static std::uint64_t read(cell& c) noexcept {
-        return c.raw().load(std::memory_order_acquire);
+        return c.raw().load(std::memory_order_acquire);  // lfrc-lint: order(cell-publish)
     }
 
     static bool cas(cell& c, std::uint64_t expected, std::uint64_t desired) noexcept {
         stripe_lock guard0(stripe_of(&c));
-        if (c.raw().load(std::memory_order_relaxed) != expected) return false;
-        c.raw().store(desired, std::memory_order_release);
+        if (c.raw().load(std::memory_order_relaxed) != expected) return false;  // lfrc-lint: order(stripe-lock)
+        c.raw().store(desired, std::memory_order_release);  // lfrc-lint: order(cell-publish)
         return true;
     }
 
@@ -43,12 +43,12 @@ class locked_engine {
         if (s0 > s1) std::swap(s0, s1);  // address-order acquisition: no deadlock
         stripe_lock guard0(s0);
         stripe_lock guard1(s0 == s1 ? npos : s1);
-        if (c0.raw().load(std::memory_order_relaxed) != o0 ||
-            c1.raw().load(std::memory_order_relaxed) != o1) {
+        if (c0.raw().load(std::memory_order_relaxed) != o0 ||  // lfrc-lint: order(stripe-lock)
+            c1.raw().load(std::memory_order_relaxed) != o1) {  // lfrc-lint: order(stripe-lock)
             return false;
         }
-        c0.raw().store(n0, std::memory_order_release);
-        c1.raw().store(n1, std::memory_order_release);
+        c0.raw().store(n0, std::memory_order_release);  // lfrc-lint: order(cell-publish)
+        c1.raw().store(n1, std::memory_order_release);  // lfrc-lint: order(cell-publish)
         return true;
     }
 
@@ -80,22 +80,22 @@ class locked_engine {
             if (i > 0 && stripes[i] == stripes[i - 1]) continue;
             std::atomic_flag& f = stripe(stripes[i]);
             util::backoff bo;
-            while (f.test_and_set(std::memory_order_acquire)) bo();
+            while (f.test_and_set(std::memory_order_acquire)) bo();  // lfrc-lint: order(stripe-lock)
             locks[held++] = &f;
         }
         bool ok = true;
         for (std::size_t i = 0; i < n; ++i) {
-            if (ops[i].target->raw().load(std::memory_order_relaxed) != ops[i].expected) {
+            if (ops[i].target->raw().load(std::memory_order_relaxed) != ops[i].expected) {  // lfrc-lint: order(stripe-lock)
                 ok = false;
                 break;
             }
         }
         if (ok) {
             for (std::size_t i = 0; i < n; ++i) {
-                ops[i].target->raw().store(ops[i].desired, std::memory_order_release);
+                ops[i].target->raw().store(ops[i].desired, std::memory_order_release);  // lfrc-lint: order(cell-publish)
             }
         }
-        while (held > 0) locks[--held]->clear(std::memory_order_release);
+        while (held > 0) locks[--held]->clear(std::memory_order_release);  // lfrc-lint: order(stripe-lock)
         return ok;
     }
 
@@ -124,10 +124,10 @@ class locked_engine {
         explicit stripe_lock(std::size_t s) noexcept : index_(s) {
             if (index_ == npos) return;
             util::backoff bo;
-            while (stripe(index_).test_and_set(std::memory_order_acquire)) bo();
+            while (stripe(index_).test_and_set(std::memory_order_acquire)) bo();  // lfrc-lint: order(stripe-lock)
         }
         ~stripe_lock() {
-            if (index_ != npos) stripe(index_).clear(std::memory_order_release);
+            if (index_ != npos) stripe(index_).clear(std::memory_order_release);  // lfrc-lint: order(stripe-lock)
         }
         stripe_lock(const stripe_lock&) = delete;
         stripe_lock& operator=(const stripe_lock&) = delete;

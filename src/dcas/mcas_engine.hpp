@@ -144,10 +144,10 @@ class mcas_engine {
     static bool dcas(cell& c0, cell& c1, std::uint64_t o0, std::uint64_t o1,
                      std::uint64_t n0, std::uint64_t n1) {
         assert(&c0 != &c1 && "DCAS on one cell twice is not defined");
-        stats().dcas_started.fetch_add(1, std::memory_order_relaxed);
+        stats().dcas_started.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
         casn_op ops[2] = {{&c0, o0, n0}, {&c1, o1, n1}};
         const bool ok = casn(ops, 2);
-        if (ok) stats().dcas_succeeded.fetch_add(1, std::memory_order_relaxed);
+        if (ok) stats().dcas_succeeded.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
         return ok;
     }
 
@@ -173,7 +173,7 @@ class mcas_engine {
                            std::memory_order_seq_cst);
             sd.mcas_busy[i] = false;
             rdcss_descriptor& rd = sd.rdcss[i];
-            rd.seq.store(bump_seq(rd.seq.load(std::memory_order_relaxed)),
+            rd.seq.store(bump_seq(rd.seq.load(std::memory_order_relaxed)),  // lfrc-lint: order(unpaired-owner-seq-read)
                          std::memory_order_seq_cst);
             sd.rdcss_busy[i] = false;
         }
@@ -298,14 +298,14 @@ class mcas_engine {
         assert(!sd.mcas_busy[idx] && "per-slot mcas descriptor pool exhausted (nested casn?)");
         sd.mcas_busy[idx] = true;
         mcas_descriptor& d = sd.mcas[idx];
-        const std::uint64_t w = d.status.load(std::memory_order_relaxed);
+        const std::uint64_t w = d.status.load(std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-seq-read)
         assert(state_of_status(w) != status_undecided && "reusing an undecided descriptor");
         const std::uint64_t seq = bump_seq(seq_of_status(w));
         // Plain store, not CAS: the previous use is terminal, so the only
         // competing writes are stale helpers' CASes, which expect the old
         // sequence and lose either way.
         d.status.store(pack_status(seq, status_undecided), std::memory_order_seq_cst);
-        std::atomic_thread_fence(std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_release);  // lfrc-lint: order(desc-reuse-fence)
         return make_desc_word(slot, idx, seq, tag_mcas);
     }
 
@@ -321,12 +321,12 @@ class mcas_engine {
         assert(!sd.rdcss_busy[idx] && "per-slot rdcss descriptor pool exhausted");
         sd.rdcss_busy[idx] = true;
         rdcss_descriptor& rd = sd.rdcss[idx];
-        const std::uint64_t seq = bump_seq(rd.seq.load(std::memory_order_relaxed));
+        const std::uint64_t seq = bump_seq(rd.seq.load(std::memory_order_relaxed));  // lfrc-lint: order(unpaired-owner-seq-read)
         rd.seq.store(seq, std::memory_order_seq_cst);
-        std::atomic_thread_fence(std::memory_order_release);
-        rd.md_word.store(md_word, std::memory_order_relaxed);
-        rd.a2.store(reinterpret_cast<std::uint64_t>(a2), std::memory_order_relaxed);
-        rd.o2.store(o2, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);  // lfrc-lint: order(desc-reuse-fence)
+        rd.md_word.store(md_word, std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
+        rd.a2.store(reinterpret_cast<std::uint64_t>(a2), std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
+        rd.o2.store(o2, std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
         return make_desc_word(slot, idx, seq, tag_rdcss);
     }
 
@@ -358,12 +358,12 @@ class mcas_engine {
         }
         const std::uint64_t md_word = acquire_mcas();
         mcas_descriptor& d = mcas_of(md_word);
-        d.entry_count.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+        d.entry_count.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
         for (std::size_t i = 0; i < n; ++i) {
-            d.entries[i].addr.store(reinterpret_cast<std::uint64_t>(sorted[i].target),
+            d.entries[i].addr.store(reinterpret_cast<std::uint64_t>(sorted[i].target),  // lfrc-lint: seq-owner, order(desc-payload)
                                     std::memory_order_relaxed);
-            d.entries[i].old_val.store(sorted[i].expected, std::memory_order_relaxed);
-            d.entries[i].new_val.store(sorted[i].desired, std::memory_order_relaxed);
+            d.entries[i].old_val.store(sorted[i].expected, std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
+            d.entries[i].new_val.store(sorted[i].desired, std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
         }
         return md_word;
     }
@@ -387,19 +387,19 @@ class mcas_engine {
     /// has been recycled; the operation it named is necessarily decided.
     static bool snapshot_mcas(std::uint64_t md_word, op_snapshot& out) {
         mcas_descriptor& d = mcas_of(md_word);
-        const std::uint32_t n = d.entry_count.load(std::memory_order_relaxed);
+        const std::uint32_t n = d.entry_count.load(std::memory_order_relaxed);  // lfrc-lint: order(desc-payload)
         assert(n <= max_casn);
         for (std::uint32_t i = 0; i < n; ++i) {
             out.entries[i].addr =
-                reinterpret_cast<cell*>(d.entries[i].addr.load(std::memory_order_relaxed));
-            out.entries[i].old_val = d.entries[i].old_val.load(std::memory_order_relaxed);
-            out.entries[i].new_val = d.entries[i].new_val.load(std::memory_order_relaxed);
+                reinterpret_cast<cell*>(d.entries[i].addr.load(std::memory_order_relaxed));  // lfrc-lint: order(desc-payload)
+            out.entries[i].old_val = d.entries[i].old_val.load(std::memory_order_relaxed);  // lfrc-lint: order(desc-payload)
+            out.entries[i].new_val = d.entries[i].new_val.load(std::memory_order_relaxed);  // lfrc-lint: order(desc-payload)
         }
         out.n = n;
-        std::atomic_thread_fence(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_acquire);  // lfrc-lint: order(desc-reuse-fence)
         const std::uint64_t w = d.status.load(std::memory_order_seq_cst);
         if (seq_of_status(w) != desc_seq_of(md_word)) {
-            stats().seq_aborts.fetch_add(1, std::memory_order_relaxed);
+            stats().seq_aborts.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
             return false;
         }
         out.state = state_of_status(w);
@@ -410,7 +410,7 @@ class mcas_engine {
     static bool read_status(std::uint64_t md_word, std::uint64_t& state_out) {
         const std::uint64_t w = mcas_of(md_word).status.load(std::memory_order_seq_cst);
         if (seq_of_status(w) != desc_seq_of(md_word)) {
-            stats().seq_aborts.fetch_add(1, std::memory_order_relaxed);
+            stats().seq_aborts.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
             return false;
         }
         state_out = state_of_status(w);
@@ -425,7 +425,7 @@ class mcas_engine {
     /// observes a new value.
     static void resolve(std::uint64_t observed) {
         if (is_rdcss(observed)) {
-            stats().helps.fetch_add(1, std::memory_order_relaxed);
+            stats().helps.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
             rdcss_complete(observed);
         } else {
             mcas_help(observed, /*is_owner=*/false);
@@ -440,12 +440,12 @@ class mcas_engine {
     /// returned, which leaves the word out of every cell).
     static void rdcss_complete(std::uint64_t rd_word) {
         rdcss_descriptor& rd = rdcss_of(rd_word);
-        const std::uint64_t md_word = rd.md_word.load(std::memory_order_relaxed);
-        auto* a2 = reinterpret_cast<cell*>(rd.a2.load(std::memory_order_relaxed));
-        const std::uint64_t o2 = rd.o2.load(std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t md_word = rd.md_word.load(std::memory_order_relaxed);  // lfrc-lint: order(desc-payload)
+        auto* a2 = reinterpret_cast<cell*>(rd.a2.load(std::memory_order_relaxed));  // lfrc-lint: order(desc-payload)
+        const std::uint64_t o2 = rd.o2.load(std::memory_order_relaxed);  // lfrc-lint: order(desc-payload)
+        std::atomic_thread_fence(std::memory_order_acquire);  // lfrc-lint: order(desc-reuse-fence)
         if (rd.seq.load(std::memory_order_seq_cst) != desc_seq_of(rd_word)) {
-            stats().seq_aborts.fetch_add(1, std::memory_order_relaxed);
+            stats().seq_aborts.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
             return;
         }
         // Control read. A sequence mismatch on the MCAS descriptor means the
@@ -464,8 +464,8 @@ class mcas_engine {
     /// blocks the cell.
     static std::uint64_t rdcss_install(std::uint64_t rd_word) {
         rdcss_descriptor& rd = rdcss_of(rd_word);
-        auto* a2 = reinterpret_cast<cell*>(rd.a2.load(std::memory_order_relaxed));
-        const std::uint64_t o2 = rd.o2.load(std::memory_order_relaxed);
+        auto* a2 = reinterpret_cast<cell*>(rd.a2.load(std::memory_order_relaxed));  // lfrc-lint: seq-owner, order(desc-payload)
+        const std::uint64_t o2 = rd.o2.load(std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
         for (;;) {
             std::uint64_t expected = o2;
             if (a2->raw().compare_exchange_strong(expected, rd_word,
@@ -474,7 +474,7 @@ class mcas_engine {
                 return o2;
             }
             if (is_rdcss(expected)) {
-                stats().helps.fetch_add(1, std::memory_order_relaxed);
+                stats().helps.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
                 rdcss_complete(expected);
                 continue;  // cell now holds a data value or an MCAS word
             }
@@ -487,7 +487,7 @@ class mcas_engine {
     /// owner can never observe the latter — it holds the busy flag — and
     /// helpers' callers re-read the cell either way).
     static bool mcas_help(std::uint64_t md_word, bool is_owner) {
-        if (!is_owner) stats().helps.fetch_add(1, std::memory_order_relaxed);
+        if (!is_owner) stats().helps.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
         op_snapshot snap;
         if (!snapshot_mcas(md_word, snap)) {
             assert(!is_owner);
@@ -517,7 +517,7 @@ class mcas_engine {
                             continue;
                         }
                         if (is_rdcss(cur)) {
-                            stats().helps.fetch_add(1, std::memory_order_relaxed);
+                            stats().helps.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-stats-counter)
                             rdcss_complete(cur);
                             continue;
                         }
@@ -555,7 +555,7 @@ class mcas_engine {
                 if (st != status_undecided) break;
             }
 #if defined(LFRC_ENABLE_MUTATIONS)
-            if (mutate_strip_seq_validation().load(std::memory_order_relaxed)) {
+            if (mutate_strip_seq_validation().load(std::memory_order_relaxed)) {  // lfrc-lint: order(unpaired-mutation-flag)
                 // MUTANT (the classic reuse bug): re-read the status word
                 // and trust whatever sequence it carries now, instead of
                 // requiring the help ticket's sequence. A helper that
@@ -567,7 +567,7 @@ class mcas_engine {
                     (cur & ~std::uint64_t{status_state_mask}) | status_undecided;
                 const std::uint64_t desired =
                     (expected & ~std::uint64_t{status_state_mask}) | decided;
-                mcas_of(md_word).status.compare_exchange_strong(expected, desired,
+                mcas_of(md_word).status.compare_exchange_strong(expected, desired,  // lfrc-lint: exempt(R7)
                                                                 std::memory_order_seq_cst);
             } else
 #endif
@@ -591,7 +591,7 @@ class mcas_engine {
         const bool succeeded = st == status_succeeded;
         for (std::uint32_t i = 0; i < snap.n; ++i) {
             std::uint64_t expected = md_word;
-            snap.entries[i].addr->raw().compare_exchange_strong(
+            snap.entries[i].addr->raw().compare_exchange_strong(  // lfrc-lint: seq-carried
                 expected, succeeded ? snap.entries[i].new_val : snap.entries[i].old_val,
                 std::memory_order_seq_cst);
         }
@@ -616,11 +616,11 @@ struct mcas_engine::testing {
         // one fewer instrumented access keeps the race windows this seam
         // exists to stage as tight as possible.
         mcas_descriptor& d = mcas_of(md_word);
-        const std::uint32_t cnt = d.entry_count.load(std::memory_order_relaxed);
+        const std::uint32_t cnt = d.entry_count.load(std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
         for (std::uint32_t i = 0; i < cnt; ++i) {
             auto* target =
-                reinterpret_cast<cell*>(d.entries[i].addr.load(std::memory_order_relaxed));
-            std::uint64_t expected = d.entries[i].old_val.load(std::memory_order_relaxed);
+                reinterpret_cast<cell*>(d.entries[i].addr.load(std::memory_order_relaxed));  // lfrc-lint: seq-owner, order(desc-payload)
+            std::uint64_t expected = d.entries[i].old_val.load(std::memory_order_relaxed);  // lfrc-lint: seq-owner, order(desc-payload)
             target->raw().compare_exchange_strong(expected, md_word,
                                                   std::memory_order_seq_cst);
         }

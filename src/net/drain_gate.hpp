@@ -76,7 +76,7 @@ class drain_gate {
         // batches. A worker mid-request then walks entries reset_chain is
         // deleting under it. tests/sim/sim_net_drain_test.cpp proves the
         // shadow heap catches this at preemption_bound=1.
-        if (mutate_skip_await().load(std::memory_order_relaxed)) return;
+        if (mutate_skip_await().load(std::memory_order_relaxed)) return;  // lfrc-lint: order(unpaired-mutation-flag)
 #endif
         while (in_flight_.load(std::memory_order_seq_cst) != 0) {
             util::cooperative_yield();

@@ -25,7 +25,7 @@ namespace {
 
 std::atomic<bool> g_stop{false};
 
-void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }  // lfrc-lint: order(external-stop-flag)
 
 template <typename Policy>
 int serve(const lfrc::net::server_config& cfg) {

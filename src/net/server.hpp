@@ -125,7 +125,7 @@ class kv_server {
 
     /// Ask run() to begin the graceful drain. Async-signal-safe.
     void request_shutdown() noexcept {
-        shutdown_.store(true, std::memory_order_release);
+        shutdown_.store(true, std::memory_order_release);  // lfrc-lint: order(server-shutdown-flag)
     }
 
     /// Serve until request_shutdown() (or *external_stop — the binary's
@@ -153,7 +153,7 @@ class kv_server {
 
         worker_slots_.assign(static_cast<std::size_t>(cfg_.workers), 0);
         worker_totals_.assign(static_cast<std::size_t>(cfg_.workers), server_totals{});
-        worker_failed_.store(false, std::memory_order_relaxed);
+        worker_failed_.store(false, std::memory_order_relaxed);  // lfrc-lint: order(worker-failed-flag)
         std::vector<std::thread> threads;
         threads.reserve(static_cast<std::size_t>(cfg_.workers));
         for (int w = 0; w < cfg_.workers; ++w) {
@@ -162,10 +162,10 @@ class kv_server {
             });
         }
 
-        while (!shutdown_.load(std::memory_order_acquire) &&
+        while (!shutdown_.load(std::memory_order_acquire) &&  // lfrc-lint: order(server-shutdown-flag)
                !(external_stop != nullptr &&
-                 external_stop->load(std::memory_order_acquire)) &&
-               !worker_failed_.load(std::memory_order_acquire)) {
+                 external_stop->load(std::memory_order_acquire)) &&  // lfrc-lint: order(external-stop-flag)
+               !worker_failed_.load(std::memory_order_acquire)) {  // lfrc-lint: order(worker-failed-flag)
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
         }
 
@@ -187,7 +187,7 @@ class kv_server {
                     static_cast<unsigned long long>(t.io_error_closes),
                     static_cast<unsigned long long>(residual_));
         std::fflush(stdout);
-        if (worker_failed_.load(std::memory_order_acquire)) return 2;
+        if (worker_failed_.load(std::memory_order_acquire)) return 2;  // lfrc-lint: order(worker-failed-flag)
         return residual_ == 0 ? 0 : 1;
     }
 
@@ -440,7 +440,7 @@ class kv_server {
         const int ep = ::epoll_create1(EPOLL_CLOEXEC);
         if (ep < 0) {
             ::close(listen_fd);
-            worker_failed_.store(true, std::memory_order_release);
+            worker_failed_.store(true, std::memory_order_release);  // lfrc-lint: order(worker-failed-flag)
             return;
         }
         {

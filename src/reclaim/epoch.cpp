@@ -16,7 +16,7 @@ epoch_domain::~epoch_domain() {
     // Destruction requires quiescence (no thread inside a guard, none will
     // enter). Everything pending is then trivially past its grace period.
     for (auto& padded_slot : slots_) {
-        retired_node* node = padded_slot->retired.exchange(nullptr, std::memory_order_acquire);
+        retired_node* node = padded_slot->retired.exchange(nullptr, std::memory_order_acquire);  // lfrc-lint: order(epoch-retired-list)
         while (node != nullptr) {
             retired_node* next = node->next;
             node->deleter(node->object);
@@ -30,9 +30,9 @@ auto epoch_domain::acquire_node() -> retired_node* {
     // Single-consumer pop from the owner's free stack (only the owner pops,
     // so the unsynchronized `next` read cannot see a recycled node).
     slot_record& rec = *slots_[util::thread_registry::instance().slot()];
-    retired_node* head = rec.free_nodes.load(std::memory_order_acquire);
+    retired_node* head = rec.free_nodes.load(std::memory_order_acquire);  // lfrc-lint: order(free-node-stack)
     while (head != nullptr) {
-        if (rec.free_nodes.compare_exchange_weak(head, head->next,
+        if (rec.free_nodes.compare_exchange_weak(head, head->next,  // lfrc-lint: order(free-node-stack)
                                                  std::memory_order_acq_rel)) {
             return head;
         }
@@ -43,20 +43,20 @@ auto epoch_domain::acquire_node() -> retired_node* {
 void epoch_domain::release_node(retired_node* node) noexcept {
     // Multi-producer push onto the releasing thread's own slot.
     slot_record& rec = *slots_[util::thread_registry::instance().slot()];
-    retired_node* head = rec.free_nodes.load(std::memory_order_relaxed);
+    retired_node* head = rec.free_nodes.load(std::memory_order_relaxed);  // lfrc-lint: order(free-node-stack)
     do {
         node->next = head;
-    } while (!rec.free_nodes.compare_exchange_weak(head, node, std::memory_order_acq_rel));
+    } while (!rec.free_nodes.compare_exchange_weak(head, node, std::memory_order_acq_rel));  // lfrc-lint: order(free-node-stack)
 }
 
 std::uint64_t epoch_domain::pending() const noexcept {
     std::int64_t total = 0;
     const std::size_t high = util::thread_registry::instance().high_water();
     for (std::size_t s = 0; s < high; ++s) {
-        total += slots_[s]->pending_delta.load(std::memory_order_acquire);
+        total += slots_[s]->pending_delta.load(std::memory_order_acquire);  // lfrc-lint: order(epoch-pending-counter)
     }
     std::uint64_t sum = total > 0 ? static_cast<std::uint64_t>(total) : 0;
-    if (auto* f = aux_pending_.load(std::memory_order_acquire)) sum += f();
+    if (auto* f = aux_pending_.load(std::memory_order_acquire)) sum += f();  // lfrc-lint: order(aux-hook-install)
     return sum;
 }
 
@@ -72,17 +72,17 @@ void epoch_domain::register_aux(std::uint64_t (*pending_fn)() noexcept, void (*d
                                 void (*clear_slot_fn)(std::size_t) noexcept) noexcept {
     // One layered scheme only: a second registration would silently
     // disconnect the first scheme's backlog from pending()/drain_all().
-    assert(aux_pending_.load(std::memory_order_relaxed) == nullptr &&
+    assert(aux_pending_.load(std::memory_order_relaxed) == nullptr &&  // lfrc-lint: order(aux-hook-install)
            "register_aux: an aux reclaimer is already registered");
-    aux_pending_.store(pending_fn, std::memory_order_release);
-    aux_drain_.store(drain_fn, std::memory_order_release);
-    aux_clear_slot_.store(clear_slot_fn, std::memory_order_release);
+    aux_pending_.store(pending_fn, std::memory_order_release);  // lfrc-lint: order(aux-hook-install)
+    aux_drain_.store(drain_fn, std::memory_order_release);  // lfrc-lint: order(aux-hook-install)
+    aux_clear_slot_.store(clear_slot_fn, std::memory_order_release);  // lfrc-lint: order(aux-hook-install)
 }
 
 void epoch_domain::register_slot_reset(void (*fn)(std::size_t) noexcept) noexcept {
-    assert(slot_reset_.load(std::memory_order_relaxed) == nullptr &&
+    assert(slot_reset_.load(std::memory_order_relaxed) == nullptr &&  // lfrc-lint: order(aux-hook-install)
            "register_slot_reset: a slot-reset hook is already registered");
-    slot_reset_.store(fn, std::memory_order_release);
+    slot_reset_.store(fn, std::memory_order_release);  // lfrc-lint: order(aux-hook-install)
 }
 
 epoch_domain& epoch_domain::global() {
@@ -107,7 +107,7 @@ void epoch_domain::enter() noexcept {
 void epoch_domain::exit() noexcept {
     slot_record& rec = *slots_[util::thread_registry::instance().slot()];
     if (--rec.depth != 0) return;
-    rec.state.store(0, std::memory_order_release);
+    rec.state.store(0, std::memory_order_release);  // lfrc-lint: order(slot-unpin)
 }
 
 void epoch_domain::retire(void* object, void (*deleter)(void*)) {
@@ -119,7 +119,7 @@ void epoch_domain::retire(void* object, void (*deleter)(void*)) {
     node->deleter = deleter;
     push_retired(slot, node);
     slot_record& rec = *slots_[slot];
-    rec.pending_delta.fetch_add(1, std::memory_order_relaxed);
+    rec.pending_delta.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(epoch-pending-counter)
     if (++rec.retires_since_scan >= scan_threshold) {
         rec.retires_since_scan = 0;
         reclaim_some(slot, /*force=*/false);
@@ -128,20 +128,20 @@ void epoch_domain::retire(void* object, void (*deleter)(void*)) {
 
 void epoch_domain::push_retired(std::size_t slot, retired_node* node) noexcept {
     std::atomic<retired_node*>& head = slots_[slot]->retired;
-    retired_node* old_head = head.load(std::memory_order_relaxed);
+    retired_node* old_head = head.load(std::memory_order_relaxed);  // lfrc-lint: order(epoch-retired-list)
     do {
         node->next = old_head;
-    } while (!head.compare_exchange_weak(old_head, node, std::memory_order_acq_rel));
+    } while (!head.compare_exchange_weak(old_head, node, std::memory_order_acq_rel));  // lfrc-lint: order(epoch-retired-list)
 }
 
 void epoch_domain::push_retired_chain(std::size_t slot, retired_node* chain_head) noexcept {
     retired_node* tail = chain_head;
     while (tail->next != nullptr) tail = tail->next;
     std::atomic<retired_node*>& head = slots_[slot]->retired;
-    retired_node* old_head = head.load(std::memory_order_relaxed);
+    retired_node* old_head = head.load(std::memory_order_relaxed);  // lfrc-lint: order(epoch-retired-list)
     do {
         tail->next = old_head;
-    } while (!head.compare_exchange_weak(old_head, chain_head, std::memory_order_acq_rel));
+    } while (!head.compare_exchange_weak(old_head, chain_head, std::memory_order_acq_rel));  // lfrc-lint: order(epoch-retired-list)
 }
 
 bool epoch_domain::try_advance() noexcept {
@@ -165,7 +165,7 @@ auto epoch_domain::free_eligible(retired_node* head, std::uint64_t eligible_befo
             head->deleter(head->object);
             release_node(head);
             slots_[util::thread_registry::instance().slot()]->pending_delta.fetch_sub(
-                1, std::memory_order_relaxed);
+                1, std::memory_order_relaxed);  // lfrc-lint: order(epoch-pending-counter)
         } else {
             head->next = survivors;
             survivors = head;
@@ -180,11 +180,11 @@ void epoch_domain::reclaim_some(std::size_t slot, bool force) {
     const std::uint64_t g = global_epoch();
     if (g < grace_epochs) return;
     slot_record& rec = *slots_[slot];
-    if (!force && rec.last_scan_epoch.load(std::memory_order_relaxed) == g) {
+    if (!force && rec.last_scan_epoch.load(std::memory_order_relaxed) == g) {  // lfrc-lint: order(unpaired-owner-scan-cache)
         return;  // nothing new can be eligible; avoid an O(pending) no-op walk
     }
-    rec.last_scan_epoch.store(g, std::memory_order_relaxed);
-    retired_node* stolen = rec.retired.exchange(nullptr, std::memory_order_acq_rel);
+    rec.last_scan_epoch.store(g, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-scan-cache)
+    retired_node* stolen = rec.retired.exchange(nullptr, std::memory_order_acq_rel);  // lfrc-lint: order(epoch-retired-list)
     retired_node* survivors = free_eligible(stolen, g - grace_epochs + 1);
     // Re-home survivors (as one chain, one CAS) onto our own slot — we
     // might be draining another thread's leftovers via drain_all.
@@ -199,14 +199,14 @@ void epoch_domain::clear_slot(std::size_t s) noexcept {
     // whose safety argument assumes the owner held its pin when they were
     // recorded. The abandoned fiber never runs again, so this is the
     // thread-exit flush it will never perform itself.
-    if (auto* f = aux_clear_slot_.load(std::memory_order_acquire)) f(s);
+    if (auto* f = aux_clear_slot_.load(std::memory_order_acquire)) f(s);  // lfrc-lint: order(aux-hook-install)
     // Then invalidate engine-local per-slot state (descriptor sequences):
     // after this, stale helpers racing the teardown can no longer complete
     // the abandoned slot's operations.
-    if (auto* f = slot_reset_.load(std::memory_order_acquire)) f(s);
+    if (auto* f = slot_reset_.load(std::memory_order_acquire)) f(s);  // lfrc-lint: order(aux-hook-install)
     slot_record& rec = *slots_[s];
     rec.depth = 0;
-    rec.state.store(0, std::memory_order_release);
+    rec.state.store(0, std::memory_order_release);  // lfrc-lint: order(slot-unpin)
 }
 
 void epoch_domain::clear_slots(const std::size_t* slots, std::size_t n) noexcept {
@@ -217,7 +217,7 @@ void epoch_domain::drain_all() {
     try_advance();
     const std::size_t high = util::thread_registry::instance().high_water();
     for (std::size_t s = 0; s < high; ++s) reclaim_some(s, /*force=*/true);
-    if (auto* f = aux_drain_.load(std::memory_order_acquire)) f();
+    if (auto* f = aux_drain_.load(std::memory_order_acquire)) f();  // lfrc-lint: order(aux-hook-install)
 }
 
 }  // namespace lfrc::reclaim

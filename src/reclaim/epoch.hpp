@@ -124,7 +124,7 @@ class epoch_domain {
     void register_slot_reset(void (*fn)(std::size_t) noexcept) noexcept;
 
     std::uint64_t global_epoch() const noexcept {
-        return global_epoch_->load(std::memory_order_acquire);
+        return global_epoch_->load(std::memory_order_acquire);  // lfrc-lint: order(unpaired-epoch-read)
     }
 
     /// Retired-but-not-yet-freed objects (approximate under concurrency).

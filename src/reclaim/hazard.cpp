@@ -8,7 +8,7 @@ namespace lfrc::reclaim {
 hazard_domain::~hazard_domain() {
     // Requires quiescence, like epoch_domain::~epoch_domain.
     for (auto& padded_slot : slots_) {
-        retired_node* node = padded_slot->retired.exchange(nullptr, std::memory_order_acquire);
+        retired_node* node = padded_slot->retired.exchange(nullptr, std::memory_order_acquire);  // lfrc-lint: order(hp-retired-list)
         while (node != nullptr) {
             retired_node* next = node->next;
             node->deleter(node->object);
@@ -39,7 +39,7 @@ hazard_domain::hp::hp(hazard_domain& d) : domain_(d) {
 }
 
 hazard_domain::hp::~hp() {
-    slot_->store(nullptr, std::memory_order_release);
+    slot_->store(nullptr, std::memory_order_release);  // lfrc-lint: order(hp-clear)
     slot_record& rec = *domain_.slots_[util::thread_registry::instance().slot()];
     rec.in_use[index_] = false;
 }
@@ -48,7 +48,7 @@ void hazard_domain::retire(void* object, void (*deleter)(void*)) {
     const std::size_t slot = util::thread_registry::instance().slot();
     auto* node = new retired_node{nullptr, object, deleter};
     push_retired(slot, node);
-    pending_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(hp-pending-counter)
     slot_record& rec = *slots_[slot];
     if (++rec.retires_since_scan >= scan_threshold) {
         rec.retires_since_scan = 0;
@@ -58,10 +58,10 @@ void hazard_domain::retire(void* object, void (*deleter)(void*)) {
 
 void hazard_domain::push_retired(std::size_t slot, retired_node* node) noexcept {
     std::atomic<retired_node*>& head = slots_[slot]->retired;
-    retired_node* old_head = head.load(std::memory_order_relaxed);
+    retired_node* old_head = head.load(std::memory_order_relaxed);  // lfrc-lint: order(hp-retired-list)
     do {
         node->next = old_head;
-    } while (!head.compare_exchange_weak(old_head, node, std::memory_order_acq_rel));
+    } while (!head.compare_exchange_weak(old_head, node, std::memory_order_acq_rel));  // lfrc-lint: order(hp-retired-list)
 }
 
 bool hazard_domain::is_protected(const void* p) const noexcept {
@@ -75,7 +75,7 @@ bool hazard_domain::is_protected(const void* p) const noexcept {
 }
 
 void hazard_domain::scan_and_free(std::size_t slot) {
-    retired_node* stolen = slots_[slot]->retired.exchange(nullptr, std::memory_order_acq_rel);
+    retired_node* stolen = slots_[slot]->retired.exchange(nullptr, std::memory_order_acq_rel);  // lfrc-lint: order(hp-retired-list)
     retired_node* survivors = nullptr;
     while (stolen != nullptr) {
         retired_node* next = stolen->next;
@@ -85,7 +85,7 @@ void hazard_domain::scan_and_free(std::size_t slot) {
         } else {
             stolen->deleter(stolen->object);
             delete stolen;
-            pending_.fetch_sub(1, std::memory_order_relaxed);
+            pending_.fetch_sub(1, std::memory_order_relaxed);  // lfrc-lint: order(hp-pending-counter)
         }
         stolen = next;
     }

@@ -41,7 +41,7 @@ class hazard_domain {
         template <typename T>
         T* protect(const std::atomic<T*>& src) noexcept {
             for (;;) {
-                T* p = src.load(std::memory_order_acquire);
+                T* p = src.load(std::memory_order_acquire);  // lfrc-lint: order(unpaired-guarded-source-read)
                 announce(p);
                 if (src.load(std::memory_order_seq_cst) == p) return p;
             }
@@ -52,7 +52,7 @@ class hazard_domain {
             slot_->store(p, std::memory_order_seq_cst);
         }
 
-        void clear() noexcept { slot_->store(nullptr, std::memory_order_release); }
+        void clear() noexcept { slot_->store(nullptr, std::memory_order_release); }  // lfrc-lint: order(hp-clear)
 
       private:
         hazard_domain& domain_;
@@ -71,7 +71,7 @@ class hazard_domain {
     void drain_all();
 
     std::uint64_t pending() const noexcept {
-        return pending_.load(std::memory_order_acquire);
+        return pending_.load(std::memory_order_acquire);  // lfrc-lint: order(hp-pending-counter)
     }
 
     static hazard_domain& global();

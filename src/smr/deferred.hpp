@@ -197,7 +197,7 @@ class runtime {
         std::int64_t total = 0;
         const std::size_t high = util::thread_registry::instance().high_water();
         for (std::size_t s = 0; s < high; ++s) {
-            total += shards_[s]->count.load(std::memory_order_acquire);
+            total += shards_[s]->count.load(std::memory_order_acquire);  // lfrc-lint: order(deferred-shard-counter)
         }
         return total > 0 ? static_cast<std::uint64_t>(total) : 0;
     }
@@ -226,7 +226,7 @@ class runtime {
             deferred_node* keep_head = nullptr;
             deferred_node* keep_tail = nullptr;
             const auto keep = [&](deferred_node* k) {
-                k->review_next_.store(keep_head, std::memory_order_relaxed);
+                k->review_next_.store(keep_head, std::memory_order_relaxed);  // lfrc-lint: order(review-link)
                 keep_head = k;
                 if (keep_tail == nullptr) keep_tail = k;
             };
@@ -235,10 +235,10 @@ class runtime {
                 all_shards ? util::thread_registry::instance().high_water() : c.self + 1;
             for (std::size_t s = lo; s < hi; ++s) {
                 deferred_node* n =
-                    shards_[s]->head.exchange(nullptr, std::memory_order_acq_rel);
+                    shards_[s]->head.exchange(nullptr, std::memory_order_acq_rel);  // lfrc-lint: order(review-queue-head)
                 if (n != nullptr) stole_any = true;
                 while (n != nullptr) {
-                    deferred_node* next = n->review_next_.load(std::memory_order_relaxed);
+                    deferred_node* next = n->review_next_.load(std::memory_order_relaxed);  // lfrc-lint: order(review-link)
                     const std::uint64_t rc = n->rc_.load(std::memory_order_seq_cst);
                     if ((rc & count_mask) != 0) {
                         // Resurrected by a flushed increment: hand zero
@@ -262,7 +262,7 @@ class runtime {
                         if (released) {
                             // Someone holds a real reference; its release
                             // will re-detect zero. The node leaves the queue.
-                            home.count.fetch_sub(1, std::memory_order_relaxed);
+                            home.count.fetch_sub(1, std::memory_order_relaxed);  // lfrc-lint: order(deferred-shard-counter)
                         } else {
                             // The count dropped back to zero while WE still
                             // held the claim, so the crossing decrementer
@@ -276,7 +276,7 @@ class runtime {
                         if (g >= st + 2) {
                             n->smr_release_children_();
                             delete n;  // lfrc-lint: arena-route
-                            home.count.fetch_sub(1, std::memory_order_relaxed);
+                            home.count.fetch_sub(1, std::memory_order_relaxed);  // lfrc-lint: order(deferred-shard-counter)
                             ++freed;
                         } else {
                             keep(n);
@@ -373,7 +373,7 @@ class runtime {
             if (n->rc_.compare_exchange_strong(expected, queued_bit,
                                                std::memory_order_seq_cst)) {
                 review_shard& sh = *shards_[c.self];
-                sh.count.fetch_add(1, std::memory_order_relaxed);
+                sh.count.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(deferred-shard-counter)
                 push_review_chain(sh, n, n);
                 ++c.detections;
             }
@@ -395,10 +395,10 @@ class runtime {
     // moves, not new entries.
     void push_review_chain(review_shard& sh, deferred_node* head,
                            deferred_node* tail) noexcept {
-        deferred_node* old_head = sh.head.load(std::memory_order_relaxed);
+        deferred_node* old_head = sh.head.load(std::memory_order_relaxed);  // lfrc-lint: order(review-queue-head)
         do {
-            tail->review_next_.store(old_head, std::memory_order_relaxed);
-        } while (!sh.head.compare_exchange_weak(old_head, head,
+            tail->review_next_.store(old_head, std::memory_order_relaxed);  // lfrc-lint: order(review-link)
+        } while (!sh.head.compare_exchange_weak(old_head, head,  // lfrc-lint: order(review-queue-head)
                                                 std::memory_order_acq_rel));
     }
 

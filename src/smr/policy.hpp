@@ -144,10 +144,10 @@ class cell_link {
     cell_link() noexcept = default;
 
     Node* exclusive_get() const noexcept {
-        return dcas::decode_ptr<Node>(cell_.raw().load(std::memory_order_acquire));
+        return dcas::decode_ptr<Node>(cell_.raw().load(std::memory_order_acquire));  // lfrc-lint: order(cell-publish)
     }
     void exclusive_set(Node* p) noexcept {
-        cell_.raw().store(dcas::encode_ptr(p), std::memory_order_release);
+        cell_.raw().store(dcas::encode_ptr(p), std::memory_order_release);  // lfrc-lint: order(cell-publish)
     }
 
     void gc_mark(gc::marker& m) const { m.mark_cell(cell_); }
@@ -190,7 +190,7 @@ class cell_vslot {
     cell_vslot() noexcept : version_(dcas::encode_count(0)) {}
 
     T* exclusive_get() const noexcept {
-        return dcas::decode_ptr<T>(ptr_.raw().load(std::memory_order_acquire));
+        return dcas::decode_ptr<T>(ptr_.raw().load(std::memory_order_acquire));  // lfrc-lint: order(cell-publish)
     }
 
     void gc_mark(gc::marker& m) const { m.mark_cell(ptr_); }

@@ -1,6 +1,15 @@
 // Descriptor-reuse regression tests for the sequence-tagged MCAS engine
 // (dcas/mcas_engine.hpp, "Reuse, don't Recycle").
 //
+// This is the DYNAMIC TWIN of lint rule R7 (tools/lfrc_lint, descriptor-
+// sequence discipline; DESIGN.md §16): R7 statically requires every
+// snapshot-field read of a pooled descriptor to be re-validated against
+// its sequence and every decision CAS to carry that sequence. The seeded
+// mutant below is exactly the code shape R7 flags — a decision path with
+// the revalidation stripped — and this test proves that shape is a real
+// torn-MCAS bug, not lint pedantry. Static rule and sim test must be
+// kept in sync: weakening one without the other re-opens the hole.
+//
 // The bug class these tests exist for: a helper that read a descriptor's
 // tagged word, walked phase 1, and was then descheduled across an OWNER-SIDE
 // REUSE of that descriptor must not be able to impose its stale phase-1

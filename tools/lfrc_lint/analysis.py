@@ -1,0 +1,462 @@
+"""lfrc_lint analysis core: per-function CFGs, a per-file call graph, and
+fixed-point interprocedural escape summaries.
+
+This module is what turned lfrc_lint from a pattern matcher into a (small)
+program analyzer:
+
+  * `build_cfg` lowers one function's brace-block tree into a statement-level
+    control-flow graph. Conditions become nodes; an `if` whose condition is a
+    positive unlink CAS gets a synthetic `cas-success` node on its taken edge,
+    a negated one (`if (!cas) { diverge }`) gets the success node on its
+    fall-through edge. R3's dominance question — "is this retire_unlinked
+    reachable from function entry without passing a successful unlink?" —
+    is then a plain BFS with the success nodes deleted, replacing the old
+    sibling-scan structural heuristic.
+
+  * `escape_summaries` runs a fixed-point over the file's call graph and
+    answers, for every function parameter, whether the callee lets it escape
+    (returns it, stores it into something that outlives the call, or hands it
+    to another function that transitively does either). R2 uses this to track
+    guard-protected pointers through arbitrary call depth instead of the old
+    one-level helper taint.
+
+Both analyses are intraprocedural-syntax conservative: no macro expansion, no
+template instantiation, bare-name call resolution only (member calls through
+an object are not chased). The failure direction is documented per rule —
+R3's CFG over-approximates paths (extra paths can only add findings, never
+hide a loser-branch retire), R2's summaries under-approximate aliasing inside
+helpers (a helper that launders its parameter through a local is missed; the
+fixture corpus pins what is and is not caught).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from cpp_model import Block, SourceModel
+
+# Member-store left-hand sides: a member access chain (x.f / x->f / x[i]) or
+# a trailing-underscore member name — the shapes through which a pointer
+# outlives the enclosing function.
+STORE_LHS = r"([A-Za-z_]\w*(?:(?:\.|->)\w+|\[[^\]]*\])+|\b\w+_)"
+
+FUNC_NAME_RE = re.compile(r"([~A-Za-z_]\w*)\s*\(")
+CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+RETURN_SPAN_RE = re.compile(r"\breturn\b[^;]*;")
+
+
+def split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside (), [], or {}."""
+    parts: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def balanced_args(text: str, open_off: int) -> str | None:
+    """Text between the '(' at open_off and its matching ')', else None."""
+    depth = 0
+    for i in range(open_off, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_off + 1:i]
+    return None
+
+
+def param_names(header: str, open_off: int) -> list[str]:
+    args = balanced_args(header, open_off)
+    if args is None:
+        return []
+    names = []
+    for p in split_top_level(args):
+        p = p.split("=")[0]  # strip default argument
+        ids = re.findall(r"[A-Za-z_]\w*", p)
+        names.append(ids[-1] if ids else "")
+    return names
+
+
+# ---- call graph + escape summaries ---------------------------------------
+
+@dataclass
+class FunctionInfo:
+    name: str
+    block: Block
+    params: list[str]
+
+
+@dataclass
+class ParamEscape:
+    """What a function does with one of its parameters."""
+    returns: bool = False   # the parameter (or an alias of it) is returned
+    stores: bool = False    # stored into a member / outliving location
+    chain: tuple[str, ...] = ()  # callee chain realizing the escape, deepest last
+
+
+def collect_functions(model: SourceModel) -> list[FunctionInfo]:
+    fns: list[FunctionInfo] = []
+
+    def visit(blk: Block):
+        for ch in blk.children:
+            if model.is_function_block(ch):
+                nm = FUNC_NAME_RE.search(ch.header or "")
+                if nm and not nm.group(1).startswith("~"):
+                    fns.append(FunctionInfo(
+                        name=nm.group(1),
+                        block=ch,
+                        params=param_names(ch.header, nm.end() - 1)))
+            visit(ch)
+
+    visit(model.root)
+    return fns
+
+
+def escape_summaries(model: SourceModel) -> dict[str, dict[int, ParamEscape]]:
+    """name -> {param index -> ParamEscape}, closed under the call graph.
+
+    Seeded with direct escapes (`return p;`, `<member> = p;`), then iterated
+    to a fixed point: parameter i of f escapes if f passes it (as a bare
+    argument) to g at an index g lets escape. `returns` only propagates when
+    the call result itself is returned — a discarded return value does not
+    escape anything. Overloads sharing a name are merged (union), which errs
+    toward flagging.
+    """
+    fns = collect_functions(model)
+    bodies = {id(f): model.block_text(f.block) for f in fns}
+    summ: dict[str, dict[int, ParamEscape]] = {}
+
+    def upgrade(name: str, idx: int, returns: bool, stores: bool,
+                chain: tuple[str, ...]) -> bool:
+        pe = summ.setdefault(name, {}).setdefault(idx, ParamEscape())
+        before = (pe.returns, pe.stores)
+        pe.returns |= returns
+        pe.stores |= stores
+        if not pe.chain and chain:
+            pe.chain = chain
+        return (pe.returns, pe.stores) != before
+
+    # seed: direct escapes
+    for f in fns:
+        body = bodies[id(f)]
+        for i, p in enumerate(f.params):
+            if not p:
+                continue
+            if re.search(r"\breturn\s+" + re.escape(p) + r"\s*;", body):
+                upgrade(f.name, i, True, False, ())
+            if re.search(STORE_LHS + r"\s*=\s*" + re.escape(p) + r"\s*;",
+                         body):
+                upgrade(f.name, i, False, True, ())
+
+    # fixed point over call sites
+    for _ in range(32):  # depth bound; summaries are monotone so this is ample
+        changed = False
+        for f in fns:
+            body = bodies[id(f)]
+            return_spans = [(m.start(), m.end())
+                            for m in RETURN_SPAN_RE.finditer(body)]
+            for call in CALL_RE.finditer(body):
+                callee = summ.get(call.group(1))
+                if callee is None or call.group(1) == f.name:
+                    continue
+                argtext = balanced_args(body, call.end() - 1)
+                if argtext is None:
+                    continue
+                args = [a.strip() for a in split_top_level(argtext)]
+                in_return = any(a <= call.start() < b
+                                for a, b in return_spans)
+                for j, pe in callee.items():
+                    if j >= len(args) or args[j] not in f.params:
+                        continue
+                    i = f.params.index(args[j])
+                    chain = (call.group(1),) + pe.chain
+                    changed |= upgrade(
+                        f.name, i,
+                        returns=pe.returns and in_return,
+                        stores=pe.stores,
+                        chain=chain)
+        if not changed:
+            break
+    return summ
+
+
+# ---- control-flow graph ---------------------------------------------------
+
+@dataclass
+class CFGNode:
+    id: int
+    kind: str                    # 'entry' | 'exit' | 'stmt' | 'cas-success' | 'join'
+    start: int = -1              # span in stripped text (stmt/cond nodes)
+    end: int = -1
+    succs: list["CFGNode"] = field(default_factory=list)
+
+    def link(self, other: "CFGNode"):
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+class CFG:
+    def __init__(self):
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+
+    def _new(self, kind: str, start: int = -1, end: int = -1) -> CFGNode:
+        n = CFGNode(len(self.nodes), kind, start, end)
+        self.nodes.append(n)
+        return n
+
+    def node_at(self, off: int) -> CFGNode | None:
+        for n in self.nodes:
+            if n.start <= off < n.end:
+                return n
+        return None
+
+
+# Unlink-winning CAS heads, shared with rules.py (imported from here so the
+# CFG and the rule agree on what "success" means).
+CAS_OP_NAMES = ("dcas_link_flag", "cas_link", "flag_cas", "vclaim_mark_dead")
+NEG_CAS_COND_RE = re.compile(
+    r"\bif\s*\(\s*!\s*[\w.\->]*\s*(?:\.|->)?\s*"
+    r"(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\b")
+POS_CAS_COND_RE = re.compile(
+    r"\bif\s*\((?![^)]*!\s*[\w.\->]*(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead))"
+    r"[^)]*\b(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\s*\(")
+DIVERGE_STMT_RE = re.compile(r"\b(goto|return|throw)\b")
+BREAK_RE = re.compile(r"\bbreak\b")
+CONTINUE_RE = re.compile(r"\bcontinue\b")
+IF_HEAD_RE = re.compile(r"^\s*(?:else\b\s*)?if\s*\(")
+LOOP_HEAD_RE = re.compile(r"^\s*(?:while|for)\s*\(")
+INFINITE_LOOP_RE = re.compile(r"^\s*(?:while\s*\(\s*(?:true|1)\s*\)|for\s*\(\s*;\s*;\s*\))")
+ELSE_ONLY_RE = re.compile(r"^\s*\}?\s*else\s*$")
+
+_CLASS_HEAD_RE = re.compile(
+    r"\b(?:struct|class|union|enum|namespace)\b")
+
+
+@dataclass
+class _Loop:
+    cont: CFGNode | None   # continue target (loop condition), None for switch
+    brk: CFGNode           # break target (after-loop join)
+
+
+def _split_statements(text: str, base: int):
+    """Yield (start, end) spans of `;`-terminated statements at paren depth 0,
+    plus the trailing remainder (a block header, or nothing). Offsets are
+    absolute (base + local)."""
+    spans = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(text):
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c == ";" and depth == 0:
+            spans.append((base + start, base + i + 1))
+            start = i + 1
+    return spans, (base + start, base + len(text))
+
+
+def build_cfg(model: SourceModel, fn: Block) -> CFG:
+    cfg = CFG()
+    s = model.stripped
+
+    def lower_seq(blk: Block, preds: list[CFGNode],
+                  loops: list[_Loop]) -> list[CFGNode]:
+        """Lower the contents of `blk`; return the fall-through frontier."""
+        items: list[tuple] = []
+        pos = blk.open_off + 1
+        for ch in blk.children:
+            items.append(("text", pos, ch.open_off))
+            items.append(("block", ch))
+            pos = ch.close_off + 1
+        items.append(("text", pos, blk.close_off))
+
+        frontier = preds
+        k = 0
+        pending_header: tuple[int, int] | None = None
+        while k < len(items):
+            it = items[k]
+            if it[0] == "text":
+                stmts, rem = _split_statements(s[it[1]:it[2]], it[1])
+                for (a, b) in stmts:
+                    text = s[a:b]
+                    if not text.strip():
+                        continue
+                    node = cfg._new("stmt", a, b)
+                    for p in frontier:
+                        p.link(node)
+                    frontier = [node]
+                    if IF_HEAD_RE.search(text):
+                        # braceless conditional: the diverge (if any) is only
+                        # one arm — special-case the negated-CAS guard so
+                        # `if (!cas(...)) return;` still yields its success
+                        # fall-through edge.
+                        if NEG_CAS_COND_RE.search(text) and \
+                                DIVERGE_STMT_RE.search(
+                                    text[NEG_CAS_COND_RE.search(text).end():]):
+                            sn = cfg._new("cas-success")
+                            node.link(sn)
+                            frontier = [sn]
+                        continue
+                    if DIVERGE_STMT_RE.search(text):
+                        node.link(cfg.exit)
+                        frontier = []
+                    elif BREAK_RE.search(text) and loops:
+                        node.link(loops[-1].brk)
+                        frontier = []
+                    elif CONTINUE_RE.search(text):
+                        tgt = next((l.cont for l in reversed(loops)
+                                    if l.cont is not None), None)
+                        if tgt is not None:
+                            node.link(tgt)
+                        frontier = []
+                rem_text = s[rem[0]:rem[1]]
+                pending_header = rem if rem_text.strip() else None
+                k += 1
+                continue
+
+            ch: Block = it[1]
+            header = s[pending_header[0]:pending_header[1]] \
+                if pending_header else (ch.header or "")
+            hspan = pending_header or (ch.open_off, ch.open_off)
+            pending_header = None
+
+            if model.is_function_block(ch) or _CLASS_HEAD_RE.search(header):
+                # nested lambda / local class: opaque declaration, analyzed
+                # as its own function if it contains retire sites
+                node = cfg._new("stmt", hspan[0], ch.close_off + 1)
+                for p in frontier:
+                    p.link(node)
+                frontier = [node]
+                k += 1
+                continue
+
+            if IF_HEAD_RE.search(header):
+                frontier, k = lower_if_chain(items, k, header, hspan,
+                                             frontier, loops)
+                continue
+
+            if LOOP_HEAD_RE.search(header):
+                cond = cfg._new("stmt", hspan[0], hspan[1])
+                for p in frontier:
+                    p.link(cond)
+                after = cfg._new("join")
+                if not INFINITE_LOOP_RE.search(header):
+                    cond.link(after)
+                body_exits = lower_seq(ch, [cond],
+                                       loops + [_Loop(cond, after)])
+                for e in body_exits:
+                    e.link(cond)
+                frontier = [after]
+                k += 1
+                continue
+
+            if header.strip().startswith("switch"):
+                cond = cfg._new("stmt", hspan[0], hspan[1])
+                for p in frontier:
+                    p.link(cond)
+                after = cfg._new("join")
+                outer_cont = next((l.cont for l in reversed(loops)
+                                   if l.cont is not None), None)
+                body_exits = lower_seq(ch, [cond],
+                                       loops + [_Loop(outer_cont, after)])
+                for e in body_exits:
+                    e.link(after)
+                cond.link(after)  # no-default fall-through
+                frontier = [after]
+                k += 1
+                continue
+
+            if header.strip() == "do":
+                body_exits = lower_seq(ch, frontier, loops)
+                frontier = body_exits  # the trailing while(...) ; is a stmt
+                k += 1
+                continue
+
+            # plain scope / try / catch / else-less residue: sequential
+            frontier = lower_seq(ch, frontier, loops)
+            k += 1
+        return frontier
+
+    def lower_if_chain(items, k, header, hspan, preds, loops):
+        """Lower `if {...} [else if {...}]* [else {...}]`; returns
+        (frontier, next item index)."""
+        after: list[CFGNode] = []
+        cur_preds = preds
+        while True:
+            ch: Block = items[k][1]
+            cond = cfg._new("stmt", hspan[0], hspan[1])
+            for p in cur_preds:
+                p.link(cond)
+            taken: list[CFGNode] = [cond]
+            not_taken: list[CFGNode] = [cond]
+            if POS_CAS_COND_RE.search(header):
+                sn = cfg._new("cas-success")
+                cond.link(sn)
+                taken = [sn]
+            elif NEG_CAS_COND_RE.search(header):
+                sn = cfg._new("cas-success")
+                cond.link(sn)
+                not_taken = [sn]
+            after.extend(lower_seq(ch, taken, loops))
+            k += 1
+            # an else arm is the next (text, block) pair whose text run holds
+            # nothing but `else` / `else if (...)`
+            if k + 1 < len(items) and items[k][0] == "text":
+                stmts, rem = _split_statements(
+                    s[items[k][1]:items[k][2]], items[k][1])
+                rem_text = s[rem[0]:rem[1]]
+                if not stmts and rem_text.strip().startswith("else") and \
+                        items[k + 1][0] == "block":
+                    k += 1
+                    if IF_HEAD_RE.search(rem_text):
+                        header, hspan = rem_text, rem
+                        cur_preds = not_taken
+                        continue
+                    if ELSE_ONLY_RE.match(rem_text):
+                        after.extend(lower_seq(items[k][1], not_taken, loops))
+                        k += 1
+                        return after, k
+            after.extend(not_taken)
+            return after, k
+
+    exits = lower_seq(fn, [cfg.entry], [])
+    for e in exits:
+        e.link(cfg.exit)
+    return cfg
+
+
+def success_dominated(cfg: CFG, off: int) -> bool:
+    """True iff every entry→off path passes a cas-success node, i.e. the
+    statement is unreachable once the success nodes are deleted."""
+    target = cfg.node_at(off)
+    if target is None:
+        return False  # can't place the call: conservative, let the rule flag
+    seen = {cfg.entry.id}
+    work = [cfg.entry]
+    while work:
+        n = work.pop()
+        for nxt in n.succs:
+            if nxt.kind == "cas-success" or nxt.id in seen:
+                continue
+            if nxt.id == target.id:
+                return False
+            seen.add(nxt.id)
+            work.append(nxt)
+    return True

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""One-shot helper for the R6/R7 annotation sweep: append
+`// lfrc-lint: <words>` to named lines of a file.
+
+Usage: annotate.py FILE LINE:WORDS [LINE:WORDS ...]
+e.g.   annotate.py src/x.hpp '42:order(epoch-pin)' '57:seq-owner, order(a)'
+
+Refuses lines that already carry a comment (handle those by hand) and
+verifies the file's line count is unchanged afterwards. Kept in-tree so
+future annotation sweeps (new audited dirs, new pairing keys) do not
+re-invent it; it is not part of the linter itself.
+"""
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1]
+    edits = {}
+    for spec in sys.argv[2:]:
+        line, words = spec.split(":", 1)
+        edits[int(line)] = words.strip()
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines(keepends=True)
+    for ln, words in sorted(edits.items()):
+        text = lines[ln - 1]
+        if "//" in text:
+            print(f"{path}:{ln}: already has a comment — annotate by hand")
+            return 1
+        body = text.rstrip("\n")
+        lines[ln - 1] = f"{body}  // lfrc-lint: {words}\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(lines)
+    print(f"{path}: annotated {len(edits)} line(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

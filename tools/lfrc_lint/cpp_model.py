@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 
 ANNOTATION_RE = re.compile(r"lfrc-lint:\s*([a-zA-Z0-9\-(), ]+)")
-EXPECT_RE = re.compile(r"lint-expect:\s*(R[1-5](?:\s*,\s*R[1-5])*)")
+EXPECT_RE = re.compile(r"lint-expect:\s*(R[1-7](?:\s*,\s*R[1-7])*)")
 
 
 def strip_source(text: str):

@@ -1,0 +1,57 @@
+// lfrc_lint fixture — R2 violations through a depth-3 call chain. The
+// escape is three frames away from the guard: `hold_top` hands the pointer
+// to `hold_mid`, which hands it to `hold_leaf`, which finally stores it;
+// the return chain launders through two pass-through helpers. The old
+// one-level helper taint saw neither — only the fixed-point summaries in
+// analysis.escape_summaries reach them.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2d_node : P::template node_base<r2d_node<P>> {
+    typename P::template link<r2d_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Depth-3 return chain: each level just forwards its argument out.
+template <typename P>
+inline r2d_node<P>* pass1(r2d_node<P>* n) {
+    return n;
+}
+template <typename P>
+inline r2d_node<P>* pass2(r2d_node<P>* n) {
+    return pass1(n);
+}
+template <typename P>
+inline r2d_node<P>* pass3(r2d_node<P>* n) {
+    return pass2(n);
+}
+
+template <typename P>
+class deep_cache {
+  public:
+    r2d_node<P>* grab(P& policy,
+                      typename P::template link<r2d_node<P>>& head) {
+        typename P::guard g(policy);
+        r2d_node<P>* h = g.protect(0, head);
+        hold_top(h);      // lint-expect: R2
+        return pass3(h);  // lint-expect: R2
+    }
+
+  private:
+    /// Depth-3 store chain: only the leaf escapes, two calls down.
+    void hold_top(r2d_node<P>* n) { hold_mid(n); }
+    void hold_mid(r2d_node<P>* n) { hold_leaf(n); }
+    void hold_leaf(r2d_node<P>* n) { last_ = n; }
+
+    r2d_node<P>* last_ = nullptr;
+};
+
+}  // namespace fixture

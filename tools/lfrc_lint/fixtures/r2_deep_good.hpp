@@ -1,0 +1,55 @@
+// lfrc_lint fixture — the compliant twin of r2_deep_bad: the same depth-3
+// call shapes, but nothing escapes. The leaf reads through the pointer and
+// accumulates a value; the return chain hands back a computed int, not the
+// protected pointer. The fixed-point summaries must conclude "no escape"
+// for every helper here — any finding is a false positive.
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+struct r2dg_node : P::template node_base<r2dg_node<P>> {
+    typename P::template link<r2dg_node> next;
+    int value = 0;
+
+    static constexpr std::size_t smr_link_count = 1;
+    template <typename F>
+    void smr_children(F&& f) {
+        f(next);
+    }
+};
+
+/// Depth-3 value chain: forwards a *reading* of the node, never the node.
+template <typename P>
+inline int read1(r2dg_node<P>* n) {
+    return n->value;
+}
+template <typename P>
+inline int read2(r2dg_node<P>* n) {
+    return read1(n);
+}
+template <typename P>
+inline int read3(r2dg_node<P>* n) {
+    return read2(n);
+}
+
+template <typename P>
+class deep_reader {
+  public:
+    int sample(P& policy,
+               typename P::template link<r2dg_node<P>>& head) {
+        typename P::guard g(policy);
+        r2dg_node<P>* h = g.protect(0, head);
+        peek_top(h);         // inspects within the guard scope — fine
+        return read3(h);     // returns an int, not the protected pointer
+    }
+
+  private:
+    void peek_top(r2dg_node<P>* n) { peek_mid(n); }
+    void peek_mid(r2dg_node<P>* n) { peek_leaf(n); }
+    void peek_leaf(r2dg_node<P>* n) { hits_ += n->value; }
+
+    int hits_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// lfrc_lint fixture — R6 violations, one of each failure shape: an
+// unannotated non-seq_cst op, a stale annotation on a line with no such
+// op, and an annotated op whose pairing key resolves to no counterpart.
+// The file opts into the audit zone; a properly paired acquire/release
+// couple rides along to prove resolution does not over-flag.
+// lfrc-lint-scope: order-audited
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class order_cell {
+  public:
+    /// (1) non-seq_cst op with no order(<key>) annotation at all.
+    std::uint64_t read() const noexcept {
+        return word_.load(std::memory_order_acquire);  // lint-expect: R6
+    }
+
+    /// (2) stale annotation: the op below it defaults to seq_cst, so the
+    /// order() words document nothing.
+    // lint-expect: R6
+    // lfrc-lint: order(ghost-pairing)
+    std::uint64_t read_strong() const noexcept {
+        return word_.load();
+    }
+
+    /// (3) dangling pairing: annotated, but `lonely-release` has no second
+    /// site anywhere in this lint run.
+    void publish(std::uint64_t v) noexcept {
+        word_.store(v, std::memory_order_release);  // lfrc-lint: order(lonely-release)
+        // lint-expect: R6
+    }
+
+    /// Correctly paired couple — must stay clean.
+    std::uint64_t peek_ready() const noexcept {
+        return ready_.load(std::memory_order_acquire);  // lfrc-lint: order(handoff)
+    }
+    void mark_ready(std::uint64_t v) noexcept {
+        ready_.store(v, std::memory_order_release);  // lfrc-lint: order(handoff)
+    }
+
+  private:
+    std::atomic<std::uint64_t> word_{0};
+    std::atomic<std::uint64_t> ready_{0};
+};
+
+}  // namespace fixture

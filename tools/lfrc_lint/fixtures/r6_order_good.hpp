@@ -1,0 +1,45 @@
+// lfrc_lint fixture — the compliant twin of r6_order_bad: every
+// non-seq_cst op names its pairing, one-sided sites use the `unpaired-`
+// prefix, and seq_cst ops (explicit or defaulted) need nothing. Any
+// finding here is a false positive.
+// lfrc-lint-scope: order-audited
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class ordered_mailbox {
+  public:
+    /// Release/acquire handoff, both ends named.
+    void post(std::uint64_t v) noexcept {
+        payload_ = v;
+        flag_.store(1, std::memory_order_release);  // lfrc-lint: order(mailbox-flag)
+    }
+    bool poll(std::uint64_t& out) const noexcept {
+        if (flag_.load(std::memory_order_acquire) == 0) {  // lfrc-lint: order(mailbox-flag)
+            return false;
+        }
+        out = payload_;
+        return true;
+    }
+
+    /// Owner-only statistic: no ordering partner, honestly prefixed.
+    void tick() noexcept {
+        polls_.fetch_add(1, std::memory_order_relaxed);  // lfrc-lint: order(unpaired-owner-stat)
+    }
+
+    /// seq_cst ops are outside R6's scope — explicit or defaulted.
+    std::uint64_t fence_read() const noexcept {
+        return flag_.load(std::memory_order_seq_cst);
+    }
+    std::uint64_t strong_read() const noexcept { return flag_.load(); }
+
+  private:
+    std::atomic<std::uint64_t> flag_{0};
+    std::atomic<std::uint64_t> polls_{0};
+    std::uint64_t payload_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,59 @@
+// lfrc_lint fixture — the compliant twin of r7_seq_bad: snapshot reads
+// are re-validated against the descriptor sequence before the function
+// acts, the decision CAS packs the captured sequence into both sides, and
+// owner-context initialisation carries the seq-owner hatch. Any finding
+// here is a false positive.
+// lfrc-lint-scope: descriptor-engine
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct r7g_descriptor {
+    struct entry {
+        std::uint64_t addr = 0;
+        std::uint64_t expected = 0;
+        std::uint64_t desired = 0;
+    };
+    std::atomic<std::uint64_t> status_word{0};
+    std::uint64_t seq = 0;
+    std::uint32_t count = 0;
+    entry ops[4];
+};
+
+inline std::uint64_t desc_seq_of(const r7g_descriptor* d) noexcept {
+    return d->seq;
+}
+inline std::uint64_t pack_status(std::uint64_t seq, std::uint64_t st) noexcept {
+    return (seq << 2) | st;
+}
+
+/// (a) compliant: the snapshot walk is re-validated before its result is
+/// believed — a generation change discards the stale sum.
+inline std::uint64_t sum_addrs(r7g_descriptor* d, std::uint64_t s) {
+    std::uint64_t total = 0;
+    const std::uint32_t n = d->count;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        total += d->ops[i].addr;
+    }
+    if (desc_seq_of(d) != s) return 0;  // re-validate before acting
+    return total;
+}
+
+/// (b) compliant: both sides of the decision CAS carry the sequence.
+inline bool conclude(r7g_descriptor* d, std::uint64_t s) {
+    std::uint64_t expected = pack_status(s, 1);
+    return d->status_word.compare_exchange_strong(expected, pack_status(s, 2));
+}
+
+/// Owner context: the claiming thread initialises per-use fields before
+/// the descriptor is published — the sequence cannot advance under it.
+inline void init_entries(r7g_descriptor* d) {
+    d->count = 2;        // lfrc-lint: seq-owner
+    d->ops[0].addr = 1;  // lfrc-lint: seq-owner
+    d->ops[1].addr = 2;  // lfrc-lint: seq-owner
+}
+
+}  // namespace fixture

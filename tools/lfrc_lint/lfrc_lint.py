@@ -5,28 +5,42 @@ The paper's transformation (GC-dependent lock-free structure -> LFRC) is
 only sound for *LFRC-compliant* code: shared pointers touched exclusively
 through the load/store/copy/destroy/CAS/DCAS operation set, which this
 repo expresses as the lfrc::smr policy/guard seam. This tool mechanically
-enforces that discipline over client code (containers, store, snark, the
-net front-end, fixtures):
+enforces that discipline — and, since v2, the internal disciplines the
+engines themselves depend on — via a small analysis core (analysis.py:
+per-function CFGs, a call graph, fixed-point escape summaries):
 
   R1  no raw read/write/CAS on shared node pointer cells — all access via
       policy link/guard operations
   R2  guard discipline: protect/traverse results must not escape their
-      guard's scope (return / member store) without an upgrade
-  R3  retire-once: retire_unlinked only from unlink-winner branches
-      (structurally dominated by a successful CAS/DCAS, or annotated)
+      guard's scope, tracked interprocedurally through arbitrary call
+      depth (returns, member stores, helper chains)
+  R3  retire-once: retire_unlinked must be CFG-dominated by the success
+      edge of an unlink CAS/DCAS (or annotated with a proof)
   R4  no direct new/delete of policy-managed node types (owner/make_owner
       and reset_chain/smr_dispose own allocation and teardown)
   R5  smr_children completeness: every link/vslot member enumerated, flags
       never enumerated, smr_link_count consistent (the compile-time trait
       smr::detail::children_cover_all_links_v mirrors this in-template)
+  R6  memory-order discipline: every non-seq_cst atomic op in src/smr,
+      src/dcas, src/alloc, src/reclaim, src/net carries
+      '// lfrc-lint: order(<key>)' naming its pairing; keys resolve to
+      >= 2 sites per run (--order-table emits the fence-pairing artifact)
+  R7  descriptor-sequence discipline (reuse engine): per-use descriptor
+      reads re-validated against the sequence, decision CAS carries it
 
 Frontends: libclang over compile_commands.json when the toolchain provides
 python bindings (R1 type resolution on the real AST); a self-contained
-lexer/block-tree fallback otherwise, so the check ALWAYS runs.
+lexer/block-tree fallback otherwise, so the check ALWAYS runs. A silent
+AST degrade is reported once per run; --require-clang turns it into a
+hard failure for CI cells that need the AST path. --tidy runs the
+clang-tidy-style R1/R4 AST checks (tidy_checks.py) over the same compdb.
 
 Usage:
   lfrc_lint.py --root REPO [PATHS...]       lint paths (default: src)
   lfrc_lint.py --root REPO --self-test      run the fixture corpus
+  lfrc_lint.py --root REPO --sarif OUT ...  also write SARIF 2.1.0
+  lfrc_lint.py --root REPO --order-table OUT src   fence-pairing table
+  lfrc_lint.py --root REPO --tidy [PATHS]   clang-tidy-style AST checks
   lfrc_lint.py --list-rules
 Exit codes: 0 clean, 1 findings (or fixture expectation mismatch), 2 usage.
 """
@@ -34,6 +48,7 @@ Exit codes: 0 clean, 1 findings (or fixture expectation mismatch), 2 usage.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -41,17 +56,41 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import clang_frontend  # noqa: E402
 from cpp_model import SourceModel  # noqa: E402
-from rules import RULES, Finding, run_rules  # noqa: E402
+from rules import (  # noqa: E402
+    RULES, Finding, OrderSite, order_pairing_findings, order_table,
+    run_rules,
+)
 
 CXX_EXTS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
 
 RULE_DOC = {
     "R1": "no raw atomic access to shared node cells outside policy internals",
-    "R2": "guard-protected pointers must not escape the guard's scope",
-    "R3": "retire_unlinked only from unlink-winner (success-dominated) branches",
+    "R2": "guard-protected pointers must not escape the guard's scope "
+          "(interprocedural, fixed-point over the call graph)",
+    "R3": "retire_unlinked must be CFG-dominated by an unlink-CAS success edge",
     "R4": "no direct new/delete of policy-managed node types",
     "R5": "smr_children enumerates exactly the link/vslot members (+ smr_link_count)",
+    "R6": "non-seq_cst atomic ops carry order(<pairing>) annotations that "
+          "resolve to a counterpart site",
+    "R7": "pooled-descriptor reads re-validated against the sequence; "
+          "decision CAS carries it",
 }
+
+_degrade_noticed = False
+
+
+def _notice_degrade(path: str, require_clang: bool):
+    """The clang frontend returning None used to be silent; surface it."""
+    global _degrade_noticed
+    if require_clang:
+        print(f"lfrc_lint: libclang frontend failed on {path} and "
+              f"--require-clang is set", file=sys.stderr)
+        sys.exit(2)
+    if not _degrade_noticed:
+        print(f"lfrc_lint: note: libclang parse failed for {path} — "
+              f"falling back to the lexer frontend for R1 "
+              f"(--require-clang to fail hard)", file=sys.stderr)
+        _degrade_noticed = True
 
 
 def collect_files(root: str, paths: list[str]) -> list[str]:
@@ -73,7 +112,9 @@ def collect_files(root: str, paths: list[str]) -> list[str]:
 
 
 def lint_file(root: str, path: str, use_clang: bool,
-              compdb_dir: str | None) -> list[Finding]:
+              compdb_dir: str | None,
+              require_clang: bool = False
+              ) -> tuple[list[Finding], list[OrderSite]]:
     relpath = os.path.relpath(path, root)
     with open(path, "r", encoding="utf-8", errors="replace") as fh:
         text = fh.read()
@@ -85,15 +126,50 @@ def lint_file(root: str, path: str, use_clang: bool,
         if ast_r1 is not None:
             findings.extend(ast_r1)
             rules = tuple(r for r in RULES if r != "R1")
-    findings.extend(run_rules(model, relpath, rules))
+        else:
+            _notice_degrade(relpath, require_clang)
+    fallback, sites = run_rules(model, relpath, rules)
+    findings.extend(fallback)
     findings.sort(key=lambda f: (f.line, f.rule))
-    return findings
+    return findings, sites
+
+
+def write_sarif(out_path: str, findings: list[Finding]):
+    """SARIF 2.1.0 for the analysis CI cell / code-scanning consumers."""
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "lfrc_lint",
+                "informationUri": "tools/lfrc_lint/README.md",
+                "rules": [{"id": r,
+                           "shortDescription": {"text": RULE_DOC[r]}}
+                          for r in RULES],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": f.path.replace(os.sep, "/")},
+                    "region": {"startLine": f.line},
+                }}],
+            } for f in findings],
+        }],
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(sarif, fh, indent=2)
+        fh.write("\n")
 
 
 def self_test(root: str, use_clang: bool, compdb_dir: str | None) -> int:
     """Fixture corpus: every `lint-expect: Rn` marker in a fixture must be
     matched by a finding of that rule within 2 lines, every finding must be
-    claimed by a marker, and *_good fixtures must be perfectly clean."""
+    claimed by a marker, and *_good fixtures must be perfectly clean. R6
+    pairing resolution runs per fixture file, so each fixture is a
+    self-contained lint run."""
     fixtures_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "fixtures")
     files = collect_files(fixtures_dir, ["."])
@@ -108,7 +184,9 @@ def self_test(root: str, use_clang: bool, compdb_dir: str | None) -> int:
         with open(path, "r", encoding="utf-8") as fh:
             text = fh.read()
         model = SourceModel(relpath, text)
-        findings = lint_file(root, path, use_clang, compdb_dir)
+        findings, sites = lint_file(root, path, use_clang, compdb_dir)
+        findings = sorted(findings + order_pairing_findings(sites),
+                          key=lambda f: (f.line, f.rule))
         expected = []  # (line, rule)
         for line, rls in sorted(model.expectations.items()):
             expected.extend((line, r) for r in rls)
@@ -156,6 +234,18 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--compdb", default=None,
                     help="directory containing compile_commands.json "
                          "(default: <root>/build if present)")
+    ap.add_argument("--require-clang", action="store_true",
+                    help="fail (exit 2) instead of silently degrading when "
+                         "the libclang frontend is unavailable or errors")
+    ap.add_argument("--sarif", metavar="OUT", default=None,
+                    help="also write findings as SARIF 2.1.0 to OUT")
+    ap.add_argument("--order-table", metavar="OUT", default=None,
+                    help="write the R6 fence-pairing table (markdown) to "
+                         "OUT ('-' for stdout)")
+    ap.add_argument("--tidy", action="store_true",
+                    help="run the clang-tidy-style R1/R4 AST checks "
+                         "(tidy_checks.py; opportunistic unless "
+                         "--require-clang)")
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -170,9 +260,15 @@ def main(argv: list[str]) -> int:
         if os.path.isfile(os.path.join(cand, "compile_commands.json")):
             compdb_dir = cand
 
-    if args.frontend == "clang" and not clang_frontend.available():
-        print("lfrc_lint: --frontend=clang requested but python libclang "
-              "bindings are unavailable", file=sys.stderr)
+    if args.tidy:
+        import tidy_checks
+        return tidy_checks.main(root, args.paths or ["src"], compdb_dir,
+                                require_clang=args.require_clang)
+
+    if (args.frontend == "clang" or args.require_clang) \
+            and not clang_frontend.available():
+        print("lfrc_lint: libclang python bindings are unavailable "
+              "(--frontend=clang / --require-clang)", file=sys.stderr)
         return 2
     use_clang = args.frontend != "fallback" and clang_frontend.available()
     frontend = "libclang" if (use_clang and compdb_dir) else "fallback parser"
@@ -184,12 +280,27 @@ def main(argv: list[str]) -> int:
     paths = args.paths or ["src"]
     files = collect_files(root, paths)
     all_findings: list[Finding] = []
+    all_sites: list[OrderSite] = []
     for path in files:
-        all_findings.extend(lint_file(root, path, use_clang, compdb_dir))
+        findings, sites = lint_file(root, path, use_clang, compdb_dir,
+                                    require_clang=args.require_clang)
+        all_findings.extend(findings)
+        all_sites.extend(sites)
+    all_findings.extend(order_pairing_findings(all_sites))
     for f in all_findings:
         print(f.render())
+    if args.sarif:
+        write_sarif(args.sarif, all_findings)
+    if args.order_table:
+        table = order_table(all_sites)
+        if args.order_table == "-":
+            sys.stdout.write(table)
+        else:
+            with open(args.order_table, "w", encoding="utf-8") as fh:
+                fh.write(table)
     tag = "clean" if not all_findings else f"{len(all_findings)} finding(s)"
-    print(f"lfrc_lint: {len(files)} file(s), {tag} (frontend: {frontend})")
+    print(f"lfrc_lint: {len(files)} file(s), {tag} (frontend: {frontend}, "
+          f"{len(all_sites)} order-annotated sites)")
     return 1 if all_findings else 0
 
 

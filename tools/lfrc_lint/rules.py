@@ -1,5 +1,6 @@
-"""lfrc_lint rules R1-R5: the paper's Section-3 LFRC-compliance
-preconditions, as mechanical checks over a SourceModel.
+"""lfrc_lint rules R1-R7: the paper's Section-3 LFRC-compliance
+preconditions, as mechanical checks over a SourceModel (+ the CFG /
+call-graph analyses in analysis.py).
 
 Scope model
 -----------
@@ -19,6 +20,21 @@ The LFRC/SMR seam splits the tree into two zones:
                      escape analysis is the rule that matters most there
                      (fixtures/r2_net_conn_*.hpp).
 
+Two rules audit the *internals* themselves:
+
+  R6 (memory-order discipline)  every non-seq_cst atomic op in src/smr,
+                     src/dcas, src/alloc, src/reclaim, src/net must carry
+                     `// lfrc-lint: order(<pairing>)` naming the release/
+                     acquire (or fence) site it pairs with; pairing keys
+                     must resolve to >= 2 annotated sites per lint run
+                     (cross-file), except keys prefixed `unpaired-` (owner-
+                     only or counter sites with no ordering partner).
+  R7 (descriptor-sequence discipline)  in the reuse CASN engine, reads of a
+                     pooled descriptor's per-use fields must be re-validated
+                     against the descriptor sequence before acting, and the
+                     decision CAS must carry the sequence (the Arbel-Raviv &
+                     Brown invariant DESIGN.md §13 proves).
+
 Escape hatches are explicit and greppable:
   // lfrc-lint: unlink-winner      R3 — call site IS the unlink winner
   // lfrc-lint: escape-ok          R2 — pointer escape reviewed by hand
@@ -28,13 +44,20 @@ Escape hatches are explicit and greppable:
                                    the owner seam: the expression resolves
                                    to alloc::counted_base operator
                                    new/delete, i.e. the arena route itself
+  // lfrc-lint: order(<key>)       R6 — names this op's pairing site/fence
+  // lfrc-lint: seq-owner          R7 — descriptor read in owner context
+                                   (the sequence cannot advance under us)
+  // lfrc-lint: seq-carried        R7 — the acting CAS compares against the
+                                   sequence-tagged descriptor word itself
   // lfrc-lint: exempt(Rn)         any rule, with the rule named
 Each hatch suppresses one line; none are wildcards over a file.
 
-A file outside the policy directories can opt into the policy-internal
-zone with a file-scope pragma (used by the fixture corpus, which lives
-under tools/ rather than src/):
+A file outside the policy directories can opt into a zone with a
+file-scope pragma (used by the fixture corpus, which lives under tools/
+rather than src/):
   // lfrc-lint-scope: policy-internal
+  // lfrc-lint-scope: order-audited       (R6 applies)
+  // lfrc-lint-scope: descriptor-engine   (R7 applies)
 """
 
 from __future__ import annotations
@@ -42,6 +65,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+import analysis
+from analysis import STORE_LHS, balanced_args, split_top_level
 from cpp_model import Block, ClassInfo, SourceModel
 
 POLICY_INTERNAL_DIRS = (
@@ -49,7 +74,13 @@ POLICY_INTERNAL_DIRS = (
     "src/gc/", "src/alloc/", "src/sim/", "src/util/",
 )
 
-RULES = ("R1", "R2", "R3", "R4", "R5")
+# R6's audit set: the directories whose relaxed/acquire/release choices are
+# load-bearing for the reclamation protocols (DESIGN.md §16).
+ORDER_AUDITED_DIRS = (
+    "src/smr/", "src/dcas/", "src/alloc/", "src/reclaim/", "src/net/",
+)
+
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
 
 LINK_TYPE_RE = re.compile(r"(?:\b|::)(link|ptr_field|cell_link)\s*<")
 VSLOT_TYPE_RE = re.compile(r"(?:\b|::)(vslot|ll_field|cell_vslot)\s*<")
@@ -68,17 +99,9 @@ EXCLUSIVE_RE = re.compile(r"(?:\.|->)\s*(exclusive_get|exclusive_set)\s*\(")
 # Unlink-winning ops for R3 dominance: the link/flag CAS family plus the
 # CASN erase claim (vclaim_mark_dead), whose success likewise means this
 # thread — and only this thread — took the entry out of the structure.
-CAS_OP_NAMES = ("dcas_link_flag", "cas_link", "flag_cas", "vclaim_mark_dead")
+# The CFG lowering (analysis.py) owns the success-edge placement.
+CAS_OP_NAMES = analysis.CAS_OP_NAMES
 CAS_OP_RE = re.compile(r"\b(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\s*\(")
-NEG_CAS_HEAD_RE = re.compile(
-    r"if\s*\(\s*!\s*[\w.\->]*\s*(?:\.|->)?\s*"
-    r"(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\b"
-)
-POS_CAS_HEAD_RE = re.compile(
-    r"if\s*\((?![^)]*!\s*[\w.\->]*(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead))"
-    r"[^)]*\b(dcas_link_flag|cas_link|flag_cas|vclaim_mark_dead)\s*\("
-)
-DIVERGE_RE = re.compile(r"\b(goto|continue|return|break|throw)\b")
 
 GUARD_DECL_RE = re.compile(r"\bguard\b\s+([A-Za-z_]\w*)\s*[({]")
 GUARD_PARAM_RE = re.compile(r"\bguard\s*&\s*([A-Za-z_]\w*)")
@@ -92,6 +115,20 @@ SMR_LINK_COUNT_RE = re.compile(
 )
 FCALL_RE = re.compile(r"(?<![\w.>])%s\s*\(\s*(?:[\w.\->]*?(?:\.|->))?([A-Za-z_]\w*)\s*\)")
 
+# R6 machinery.
+ORDER_TOKEN_RE = re.compile(
+    r"\bmemory_order_(relaxed|acquire|release|acq_rel|consume)\b")
+ORDER_KEY_RE = re.compile(r"^order\(\s*([a-z0-9\-]+)\s*\)$")
+UNPAIRED_PREFIX = "unpaired-"
+
+# R7 machinery.
+SEQ_VALIDATE_RE = re.compile(r"\b(desc_seq_of|seq_of_status|read_status)\s*\(")
+DESC_CLASS_RE = re.compile(r"_descriptor$")
+# Fields that name the identity/arbitration words rather than per-use
+# payload: reading these IS the validation protocol, not subject to it.
+DESC_CONTROL_FIELD_RE = re.compile(r"seq|status")
+STATUS_CAS_LOOKBACK = 400  # chars of same-statement context for the decision CAS
+
 
 @dataclass
 class Finding:
@@ -104,7 +141,18 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+@dataclass
+class OrderSite:
+    """One R6-annotated non-seq_cst atomic op."""
+    key: str
+    path: str
+    line: int
+    snippet: str
+
+
 SCOPE_PRAGMA_RE = re.compile(r"lfrc-lint-scope:\s*policy-internal")
+ORDER_SCOPE_RE = re.compile(r"lfrc-lint-scope:\s*order-audited")
+DESC_SCOPE_RE = re.compile(r"lfrc-lint-scope:\s*descriptor-engine")
 
 
 def is_policy_internal(relpath: str, model: SourceModel | None = None) -> bool:
@@ -112,6 +160,20 @@ def is_policy_internal(relpath: str, model: SourceModel | None = None) -> bool:
     if any(p.startswith(d) or f"/{d}" in p for d in POLICY_INTERNAL_DIRS):
         return True
     return model is not None and bool(SCOPE_PRAGMA_RE.search(model.text))
+
+
+def is_order_audited(relpath: str, model: SourceModel | None = None) -> bool:
+    p = relpath.replace("\\", "/")
+    if any(p.startswith(d) or f"/{d}" in p for d in ORDER_AUDITED_DIRS):
+        return True
+    return model is not None and bool(ORDER_SCOPE_RE.search(model.text))
+
+
+def is_descriptor_engine(relpath: str, model: SourceModel | None = None) -> bool:
+    p = relpath.replace("\\", "/")
+    if p.startswith("src/dcas/") or "/src/dcas/" in p:
+        return True
+    return model is not None and bool(DESC_SCOPE_RE.search(model.text))
 
 
 def is_managed_node(ci: ClassInfo) -> bool:
@@ -140,6 +202,7 @@ class RuleContext:
         self.model = model
         self.relpath = relpath
         self.findings: list[Finding] = []
+        self.order_sites: list[OrderSite] = []
         self.managed = [c for c in model.classes if is_managed_node(c)]
         # Member names through which shared pointers flow (R1's cell set).
         self.link_member_names: set[str] = set()
@@ -221,98 +284,25 @@ def check_r1(ctx: RuleContext):
 
 
 # ---- R2: protected pointers must not escape their guard ------------------
-
-# Member-store left-hand sides: a member access chain (x.f / x->f / x[i]) or
-# a trailing-underscore member name — the shapes through which a pointer
-# outlives the enclosing function.
-STORE_LHS = r"([A-Za-z_]\w*(?:(?:\.|->)\w+|\[[^\]]*\])+|\b\w+_)"
-
-
-def _split_top_level(text: str) -> list[str]:
-    """Split on commas not nested inside (), [], or {}. Good enough for the
-    parameter/argument lists this repo writes; top-level template commas in
-    a helper signature would mis-split, but then the param-name heuristic
-    simply finds no escape and the rule stays silent (never a false flag)."""
-    parts: list[str] = []
-    depth = 0
-    cur: list[str] = []
-    for c in text:
-        if c in "([{":
-            depth += 1
-        elif c in ")]}":
-            depth -= 1
-        if c == "," and depth == 0:
-            parts.append("".join(cur))
-            cur = []
-        else:
-            cur.append(c)
-    parts.append("".join(cur))
-    return parts
-
-
-def _balanced_args(text: str, open_off: int) -> str | None:
-    """Text between the '(' at open_off and its matching ')', else None."""
-    depth = 0
-    for i in range(open_off, len(text)):
-        c = text[i]
-        if c == "(":
-            depth += 1
-        elif c == ")":
-            depth -= 1
-            if depth == 0:
-                return text[open_off + 1:i]
-    return None
-
-
-def _param_names(header: str, open_off: int) -> list[str]:
-    args = _balanced_args(header, open_off)
-    if args is None:
-        return []
-    names = []
-    for p in _split_top_level(args):
-        p = p.split("=")[0]  # strip default argument
-        ids = re.findall(r"[A-Za-z_]\w*", p)
-        names.append(ids[-1] if ids else "")
-    return names
-
-
-def _escaping_helper_params(model: SourceModel) -> dict[str, set[int]]:
-    """Map helper name -> indices of parameters the helper lets escape
-    (returns them, or stores them into a member). One level of
-    interprocedural taint for R2: a guard-protected pointer passed at such
-    an index escapes just as surely as a direct return/member store in the
-    caller — the helper merely launders it."""
-    helpers: dict[str, set[int]] = {}
-
-    def visit(blk: Block):
-        for ch in blk.children:
-            if model.is_function_block(ch):
-                nm = re.search(r"([~A-Za-z_]\w*)\s*\(", ch.header or "")
-                if nm and not nm.group(1).startswith("~"):
-                    params = _param_names(ch.header, nm.end() - 1)
-                    body = model.block_text(ch)
-                    esc = set()
-                    for i, p in enumerate(params):
-                        if not p:
-                            continue
-                        if (re.search(r"\breturn\s+" + re.escape(p) + r"\s*;",
-                                      body)
-                                or re.search(STORE_LHS + r"\s*=\s*"
-                                             + re.escape(p) + r"\s*;", body)):
-                            esc.add(i)
-                    if esc:
-                        helpers.setdefault(nm.group(1), set()).update(esc)
-            visit(ch)
-
-    visit(model.root)
-    return helpers
-
+#
+# Interprocedural since v2: analysis.escape_summaries closes the per-file
+# call graph under a fixed point, so a guard-protected pointer is tracked
+# through arbitrary call depth — `top(p)` calling `mid(p)` calling
+# `leaf(p) { last_ = p; }` flags at the top-level call site with the full
+# chain in the message. Taint also flows through value returns: if `h` is
+# protected and `helper` returns its parameter, `auto q = helper(h)` taints
+# `q`. Limitations (pinned by fixtures): bare-name call resolution only, and
+# a helper that launders its parameter through a local alias before storing
+# is not summarized.
 
 def check_r2(ctx: RuleContext):
     model = ctx.model
     if is_policy_internal(ctx.relpath, model):
         return
-    helpers = _escaping_helper_params(model)
+    summaries = analysis.escape_summaries(model)
+
+    ASSIGN_CALL_RE = re.compile(
+        r"\b([A-Za-z_]\w*)\s*=[^=;]*?(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
 
     def scan_function(fn: Block):
         body = model.block_text(fn)
@@ -343,6 +333,28 @@ def check_r2(ctx: RuleContext):
             for m in binding.finditer(body):
                 tainted.update(x.strip() for x in m.group(1).split(","))
 
+        # Taint through returning helpers: `q = helper(.., h, ..)` where the
+        # summary says helper returns the parameter `h` occupies.
+        for _ in range(8):
+            grew = False
+            for m in ASSIGN_CALL_RE.finditer(body):
+                dst, callee = m.group(1), m.group(2)
+                if dst in tainted:
+                    continue
+                summ = summaries.get(callee)
+                if not summ:
+                    continue
+                argtext = balanced_args(body, m.end() - 1)
+                if argtext is None:
+                    continue
+                args = [a.strip() for a in split_top_level(argtext)]
+                if any(pe.returns and j < len(args) and args[j] in tainted
+                       for j, pe in summ.items()):
+                    tainted.add(dst)
+                    grew = True
+            if not grew:
+                break
+
         for var in sorted(tainted):
             for m in re.finditer(r"\breturn\s+" + re.escape(var) + r"\s*;",
                                  body):
@@ -370,32 +382,41 @@ def check_r2(ctx: RuleContext):
                     f"its guard scope (escape requires an upgrade to an "
                     f"owning/counted reference)")
 
-        # One-level interprocedural escape: a tainted pointer passed to a
-        # same-file helper at a parameter index that helper returns or
-        # stores. Member/qualified calls (x.f(...), ns::f(...)) are not
-        # matched — only bare helper names resolved in this file.
-        if helpers and tainted:
-            for m in re.finditer(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(", body):
-                esc = helpers.get(m.group(1))
-                if esc is None:
+        # Interprocedural escape: a tainted pointer passed (bare) to a
+        # function whose fixed-point summary stores that parameter, or
+        # returns it while this call is itself inside a return statement.
+        if tainted:
+            return_spans = [(m.start(), m.end())
+                            for m in analysis.RETURN_SPAN_RE.finditer(body)]
+            for m in analysis.CALL_RE.finditer(body):
+                summ = summaries.get(m.group(1))
+                if not summ:
                     continue
-                argtext = _balanced_args(body, m.end() - 1)
+                argtext = balanced_args(body, m.end() - 1)
                 if argtext is None:
                     continue
-                args = [a.strip() for a in _split_top_level(argtext)]
-                for i in sorted(esc):
-                    if i >= len(args) or args[i] not in tainted:
+                args = [a.strip() for a in split_top_level(argtext)]
+                in_return = any(a <= m.start() < b for a, b in return_spans)
+                for j in sorted(summ):
+                    pe = summ[j]
+                    if j >= len(args) or args[j] not in tainted:
+                        continue
+                    if not (pe.stores or (pe.returns and in_return)):
                         continue
                     line = model.line_of(base + m.start())
                     if model.annotated(line, "escape-ok"):
                         continue
+                    chain = " -> ".join((m.group(1),) + pe.chain)
+                    how = ("stores it beyond the call" if pe.stores
+                           else "returns it out of this function")
                     ctx.report(
                         "R2", base + m.start(),
-                        f"guard-protected '{args[i]}' passed to "
-                        f"'{m.group(1)}', which returns or stores that "
-                        f"parameter — the pointer escapes its guard scope "
-                        f"through the helper (upgrade to an owning "
-                        f"reference, or pass the guard along)")
+                        f"guard-protected '{args[j]}' passed to "
+                        f"'{m.group(1)}', which {how} (escape chain: "
+                        f"{chain}) — the pointer outlives its guard scope "
+                        f"(upgrade to an owning reference, or pass the "
+                        f"guard along)")
+                    break  # one finding per call site
 
     def visit(blk: Block):
         for ch in blk.children:
@@ -407,35 +428,20 @@ def check_r2(ctx: RuleContext):
 
 
 # ---- R3: retire_unlinked only from unlink-winner branches ----------------
-
-def _success_dominated(model: SourceModel, off: int) -> bool:
-    """True when the call at `off` is dominated by a successful unlink:
-    either an ancestor `if (<cas op>(...))` (direct positive guard) or a
-    preceding sibling `if (!<cas op>(...)) { <diverge> }` in the same
-    block (fall-through guard)."""
-    blk = model.enclosing_block(off)
-    # direct positive guard on any ancestor-or-self header within function
-    b: Block | None = blk
-    while b is not None and b.header != "<file>":
-        if POS_CAS_HEAD_RE.search(b.header or ""):
-            return True
-        if model.is_function_block(b):
-            break
-        b = b.parent
-    # fall-through: a diverging negated-cas `if` earlier in the same block
-    for ch in blk.children:
-        if ch.close_off >= off:
-            break
-        if NEG_CAS_HEAD_RE.search(ch.header or ""):
-            if DIVERGE_RE.search(model.block_text(ch)):
-                return True
-    return False
-
+#
+# v2: real CFG dominance. analysis.build_cfg lowers the enclosing function
+# and marks the success edge of every unlink-CAS condition with a synthetic
+# cas-success node; a retire site is compliant iff function entry cannot
+# reach it once those nodes are deleted. This subsumes the old structural
+# forms (positive guard, diverging negated-CAS fall-through) and extends to
+# else-arms, nested branches, loops, and early-exit combinations the
+# sibling-scan could not see.
 
 def check_r3(ctx: RuleContext):
     model = ctx.model
     if is_policy_internal(ctx.relpath, model):
         return
+    cfgs: dict[int, analysis.CFG] = {}
     for m in re.finditer(r"\bretire_unlinked\s*\(", model.stripped):
         # skip declarations/definitions of the op itself
         head = model.stripped[max(0, m.start() - 60):m.start()]
@@ -444,13 +450,22 @@ def check_r3(ctx: RuleContext):
         line = model.line_of(m.start())
         if model.annotated(line, "unlink-winner"):
             continue
-        if _success_dominated(model, m.start()):
+        fn = model.enclosing_function(m.start())
+        dominated = False
+        if fn is not None:
+            cfg = cfgs.get(id(fn))
+            if cfg is None:
+                cfg = analysis.build_cfg(model, fn)
+                cfgs[id(fn)] = cfg
+            dominated = analysis.success_dominated(cfg, m.start())
+        if dominated:
             continue
         ctx.report(
             "R3", m.start(),
-            "retire_unlinked() call site is not dominated by a successful "
-            "unlink CAS/DCAS — a loser branch retiring means double retire "
-            "(annotate '// lfrc-lint: unlink-winner' only with a proof)")
+            "retire_unlinked() call site is reachable from function entry "
+            "without passing a successful unlink CAS/DCAS (CFG dominance) — "
+            "a loser branch retiring means double retire (annotate "
+            "'// lfrc-lint: unlink-winner' only with a proof)")
 
 
 # ---- R4: no new/delete of node types outside owner/policy ----------------
@@ -594,15 +609,235 @@ def check_r5(ctx: RuleContext):
                 is_line=True)
 
 
-ALL_CHECKS = (check_r1, check_r2, check_r3, check_r4, check_r5)
+# ---- R6: memory-order discipline -----------------------------------------
+#
+# Every non-seq_cst atomic op in the audited directories must carry
+# `// lfrc-lint: order(<key>)` on its own line or the line above, where
+# <key> names the pairing this op participates in (the release store this
+# acquire reads from, the fence this relaxed op is sequenced against, ...).
+# The per-file check here flags unannotated ops and stale annotations;
+# pairing resolution (every non-`unpaired-` key must have >= 2 sites) is a
+# whole-run aggregate — see order_pairing_findings(), called by the driver
+# after all files are collected so a release in epoch.cpp can pair with the
+# acquire in epoch.hpp.
+
+def check_r6(ctx: RuleContext):
+    model = ctx.model
+    if not is_order_audited(ctx.relpath, model):
+        return
+    src_lines = model.text.splitlines()
+
+    def snippet(line: int) -> str:
+        raw = src_lines[line - 1] if 0 < line <= len(src_lines) else ""
+        raw = raw.split("//", 1)[0].strip()
+        return raw[:80]
+
+    token_lines: dict[int, list[str]] = {}
+    for m in ORDER_TOKEN_RE.finditer(model.stripped):
+        token_lines.setdefault(model.line_of(m.start()), []).append(m.group(1))
+
+    keyed: dict[int, str] = {}
+    for line, words in model.annotations.items():
+        for w in words:
+            km = ORDER_KEY_RE.match(w)
+            if km:
+                keyed[line] = km.group(1)
+
+    for line, toks in sorted(token_lines.items()):
+        key = keyed.get(line) or keyed.get(line - 1)
+        if key is None:
+            ctx.report(
+                "R6", line,
+                f"non-seq_cst atomic op (memory_order_{toks[0]}) without "
+                f"'// lfrc-lint: order(<pairing>)' — name the "
+                f"release/acquire or fence site it pairs with (prefix "
+                f"'unpaired-' if it provably has no ordering partner)",
+                is_line=True)
+        else:
+            ctx.order_sites.append(
+                OrderSite(key, ctx.relpath, line, snippet(line)))
+
+    for line, key in sorted(keyed.items()):
+        if line not in token_lines and (line + 1) not in token_lines:
+            ctx.report(
+                "R6", line,
+                f"stale annotation: order({key}) on a line with no "
+                f"non-seq_cst atomic op — delete it or move it to the op it "
+                f"documents", is_line=True)
+
+
+def order_pairing_findings(sites: list[OrderSite]) -> list[Finding]:
+    """Whole-run pairing resolution: every key must resolve to >= 2
+    annotated sites (its pairing counterpart), unless `unpaired-`-prefixed.
+    Run after collecting sites from every linted file."""
+    by_key: dict[str, list[OrderSite]] = {}
+    for s in sites:
+        by_key.setdefault(s.key, []).append(s)
+    findings: list[Finding] = []
+    for key in sorted(by_key):
+        occ = by_key[key]
+        if key.startswith(UNPAIRED_PREFIX) or len(occ) >= 2:
+            continue
+        s = occ[0]
+        findings.append(Finding(
+            "R6", s.path, s.line,
+            f"dangling pairing: order({key}) resolves to no counterpart "
+            f"site in this lint run — a pairing needs both ends annotated "
+            f"with the same key (or an 'unpaired-' prefix if one-sided)"))
+    return findings
+
+
+def order_table(sites: list[OrderSite]) -> str:
+    """The fence-pairing table artifact (markdown), grouped by key.
+    DESIGN.md §16 embeds this via docs/fence_pairings.md; ci.sh regenerates
+    it and diffs to keep the committed copy fresh."""
+    by_key: dict[str, list[OrderSite]] = {}
+    for s in sites:
+        by_key.setdefault(s.key, []).append(s)
+    lines = [
+        "# Fence-pairing table",
+        "",
+        "Generated by `lfrc_lint --order-table` from the `order(<key>)`",
+        "annotations R6 enforces (DESIGN.md §16). Every non-seq_cst atomic",
+        "op in the audited directories appears here; keys without an",
+        "`unpaired-` prefix have >= 2 sites — the two (or more) ends of one",
+        "release/acquire or fence pairing. Do not edit by hand:",
+        "`python3 tools/lfrc_lint/lfrc_lint.py --root . --order-table"
+        " docs/fence_pairings.md src`.",
+        "",
+        "| pairing key | site | operation |",
+        "|---|---|---|",
+    ]
+    for key in sorted(by_key):
+        for s in sorted(by_key[key], key=lambda s: (s.path, s.line)):
+            op = s.snippet.replace("|", "\\|")
+            lines.append(f"| `{key}` | {s.path}:{s.line} | `{op}` |")
+    lines.append("")
+    paired = sum(1 for k in by_key if not k.startswith(UNPAIRED_PREFIX))
+    unpaired = len(by_key) - paired
+    lines.append(f"{len(sites)} annotated sites, {paired} pairings, "
+                 f"{unpaired} unpaired keys.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---- R7: descriptor-sequence discipline ----------------------------------
+#
+# The reuse engine (DESIGN.md §13, Arbel-Raviv & Brown) never reclaims
+# descriptors; a descriptor name is only meaningful together with the
+# sequence number captured when it was resolved. Two obligations follow for
+# any code reading a pooled descriptor's *per-use* fields (anything other
+# than the seq/status control words):
+#
+#   (a) a snapshot read must be re-validated before its value is acted on:
+#       the enclosing function must check the sequence (desc_seq_of /
+#       seq_of_status / read_status) at some point AFTER the read. Owner
+#       contexts — the thread that just claimed the descriptor and hasn't
+#       published it yet — annotate '// lfrc-lint: seq-owner'. Sites whose
+#       *acting CAS* compares against the sequence-tagged descriptor word
+#       itself (validation atomic with the act, e.g. the phase-2 unroll)
+#       annotate '// lfrc-lint: seq-carried'.
+#   (b) the decision CAS on the status word must carry the captured
+#       sequence in its expected/desired packing (desc_seq_of within the
+#       statement), so a helper of generation n can never conclude an
+#       operation of generation n+1.
+
+def _descriptor_fields(model: SourceModel) -> set[str]:
+    """Per-use field names of *_descriptor classes (and structs nested
+    inside them, e.g. the entry array element type)."""
+    desc_blocks = []
+    fields: set[str] = set()
+    for ci in model.classes:
+        if DESC_CLASS_RE.search(ci.name):
+            desc_blocks.append(ci.block)
+            for m in ci.members:
+                if not DESC_CONTROL_FIELD_RE.search(m.name):
+                    fields.add(m.name)
+    for ci in model.classes:
+        blk = ci.block
+        if any(d.open_off < blk.open_off and blk.close_off < d.close_off
+               for d in desc_blocks):
+            for m in ci.members:
+                if not DESC_CONTROL_FIELD_RE.search(m.name):
+                    fields.add(m.name)
+    return fields
+
+
+def check_r7(ctx: RuleContext):
+    model = ctx.model
+    if not is_descriptor_engine(ctx.relpath, model):
+        return
+    fields = _descriptor_fields(model)
+    if not fields:
+        return
+
+    # (a) per-use reads need a trailing sequence validation.
+    access_re = re.compile(
+        r"(?:\.|->)\s*(%s)\b(?!\s*\()" % "|".join(
+            re.escape(f) for f in sorted(fields)))
+    flagged_lines: set[int] = set()
+    for m in access_re.finditer(model.stripped):
+        line = model.line_of(m.start())
+        if line in flagged_lines:
+            continue
+        if model.annotated(line, "seq-owner") or \
+                model.annotated(line, "seq-carried"):
+            continue
+        fn = model.enclosing_function(m.start())
+        if fn is None:
+            continue  # declarations / member-init lists
+        # The field's own declaration inside the class is not a read.
+        hdr = fn.header or ""
+        if re.match(r"\s*(struct|class)\b", hdr):
+            continue
+        rest = model.stripped[m.end():fn.close_off]
+        if SEQ_VALIDATE_RE.search(rest):
+            continue
+        flagged_lines.add(line)
+        ctx.report(
+            "R7", m.start(),
+            f"per-use descriptor field '{m.group(1)}' read with no "
+            f"sequence re-validation before the function acts on it — a "
+            f"reused descriptor can change generation under this snapshot "
+            f"(validate with desc_seq_of/read_status after the read, or "
+            f"annotate '// lfrc-lint: seq-owner' in owner-only context)")
+
+    # (b) the decision CAS on a status word must carry the sequence.
+    for m in ATOMIC_OP_RE.finditer(model.stripped):
+        recv, op = m.group(1), m.group(2)
+        if not op.startswith("compare_exchange"):
+            continue
+        if "status" not in recv:
+            continue
+        line = model.line_of(m.start())
+        stmt_start = max(model.stripped.rfind(";", 0, m.start()),
+                         model.stripped.rfind("{", 0, m.start()))
+        lookback = model.stripped[
+            max(stmt_start + 1, m.start() - STATUS_CAS_LOOKBACK):m.start()]
+        argtext = balanced_args(model.stripped, m.end() - 1)
+        stmt = lookback + (argtext or "")
+        if re.search(r"\b(desc_seq_of|pack_status|seq_of_status)\s*\(", stmt):
+            continue
+        ctx.report(
+            "R7", m.start(),
+            f"decision CAS on '{recv}' does not carry the captured "
+            f"descriptor sequence (no desc_seq_of/pack_status in the "
+            f"statement) — a stale helper could conclude a later "
+            f"generation's operation")
+
+
+ALL_CHECKS = (check_r1, check_r2, check_r3, check_r4, check_r5,
+              check_r6, check_r7)
 
 
 def run_rules(model: SourceModel, relpath: str,
-              rules: tuple[str, ...] = RULES) -> list[Finding]:
+              rules: tuple[str, ...] = RULES):
+    """Returns (findings, order_sites). order_sites feed the whole-run R6
+    pairing resolution and the fence-pairing table."""
     ctx = RuleContext(model, relpath)
     for check in ALL_CHECKS:
         rule = check.__name__.split("_")[-1].upper()
         if rule in rules:
             check(ctx)
     ctx.findings.sort(key=lambda f: (f.line, f.rule))
-    return ctx.findings
+    return ctx.findings, ctx.order_sites

@@ -1,0 +1,276 @@
+"""clang-tidy-style AST checks for lfrc_lint (`lfrc_lint.py --tidy`).
+
+These are the R1/R4 legs that genuinely benefit from type resolution,
+re-expressed as named checks over the libclang AST — the ROADMAP's
+"clang-tidy checks" carry-over. Where the lexer frontend matches member
+*names* against the link-field set, these checks resolve the *declared
+type* of the receiver and the *dynamic class* of new/delete expressions,
+so a raw `std::atomic<T*>` cell hidden behind an alias or a node type
+new'd through a typedef is still caught.
+
+Checks (diagnostics use clang-tidy's `file:line:col: warning: ... [name]`
+format so editor integrations parse them natively):
+
+  lfrc-node-raw-atomic-cell   a node_base/counted-derived record declares a
+                              raw std::atomic<T*> field (R1a, by type)
+  lfrc-node-raw-atomic-op     load/store/CAS/RMW called on such a field
+                              (R1b, receiver resolved through the AST)
+  lfrc-node-arena-bypass      new/delete of a policy-managed node type that
+                              is not the counted_base arena seam (R4, the
+                              allocated type resolved through the AST)
+
+The same escape hatches as the lexer rules apply (`quiescent`,
+`arena-route`, `exempt(Rn)`) — hatch words are read from the source lines,
+so one annotation satisfies both frontends.
+
+Like clang_frontend.py, this module is opportunistic: missing bindings or
+a failed parse degrade to a one-line notice and exit 0, unless
+--require-clang demands the AST path (exit 2). It never replaces the
+always-on lexer rules; it is a second, higher-precision opinion for
+toolchains that carry libclang python bindings.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import clang_frontend
+from cpp_model import ANNOTATION_RE
+
+CXX_EXTS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+
+ATOMIC_MEMBER_OPS = (
+    "load", "store", "exchange", "compare_exchange_weak",
+    "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "fetch_xor",
+)
+
+MANAGED_BASE_MARKS = ("node_base", "::object", "counted_base")
+
+
+def _collect_files(root: str, paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+        elif os.path.isdir(ap):
+            for dirpath, dirnames, filenames in os.walk(ap):
+                dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+                for f in sorted(filenames):
+                    if f.endswith(CXX_EXTS):
+                        files.append(os.path.join(dirpath, f))
+        else:
+            print(f"lfrc_lint --tidy: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def _annotation_words(text: str) -> dict[int, set[str]]:
+    """line -> lfrc-lint hatch words, read straight off the raw source so
+    the AST checks honor the same annotations as the lexer rules."""
+    words: dict[int, set[str]] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        m = ANNOTATION_RE.search(line)
+        if m:
+            ws = {w.strip() for w in m.group(1).split(",") if w.strip()}
+            words.setdefault(i, set()).update(ws)
+    return words
+
+
+def _annotated(words: dict[int, set[str]], line: int, want: str) -> bool:
+    for at in (line, line - 1):
+        if want in words.get(at, set()):
+            return True
+    return False
+
+
+def _exempt(words: dict[int, set[str]], line: int, rule: str) -> bool:
+    for at in (line, line - 1):
+        for w in words.get(at, set()):
+            if w.startswith("exempt(") and rule in w:
+                return True
+    return False
+
+
+def _compile_args(ci, compdb_dir: str | None, path: str) -> list[str]:
+    args = ["-std=c++20", "-xc++"]
+    if not compdb_dir:
+        return args
+    try:
+        comp_db = ci.CompilationDatabase.fromDirectory(compdb_dir)
+        cmds = comp_db.getCompileCommands(path)
+        if not cmds:
+            return args
+        out: list[str] = []
+        it = iter(list(cmds)[0].arguments)
+        next(it, None)  # compiler argv[0]
+        for a in it:
+            if a == "-o":
+                next(it, None)
+                continue
+            if a == "-c" or a.endswith((".cpp", ".cc", ".cxx", ".hpp", ".h")):
+                continue
+            out.append(a)
+        return out or args
+    except Exception:
+        return args
+
+
+def check_file(path: str, relpath: str, compdb_dir: str | None):
+    """Returns a list of (line, col, message, check) or None on parse/
+    binding failure (caller notices the degrade)."""
+    try:
+        import clang.cindex as ci
+    except Exception:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        words = _annotation_words(text)
+        index = ci.Index.create()
+        tu = index.parse(path, args=_compile_args(ci, compdb_dir, path))
+    except Exception:
+        return None
+
+    diags: list[tuple[int, int, str, str]] = []
+
+    def is_managed_record(record) -> bool:
+        try:
+            for c in record.get_children():
+                if c.kind == ci.CursorKind.CXX_BASE_SPECIFIER:
+                    spelling = c.type.spelling
+                    if any(m in spelling for m in MANAGED_BASE_MARKS):
+                        return True
+                    base = c.type.get_declaration()
+                    if base is not None and base.is_definition() and \
+                            is_managed_record(base):
+                        return True
+        except Exception:
+            return False
+        return False
+
+    def is_atomic_ptr(t) -> bool:
+        s = t.get_canonical().spelling
+        return s.startswith("std::atomic<") and "*" in s
+
+    atomic_cells: set[str] = set()
+    managed_records: set[str] = set()
+
+    def visit(cursor):
+        if cursor.kind in (ci.CursorKind.STRUCT_DECL,
+                           ci.CursorKind.CLASS_DECL) and \
+                cursor.is_definition() and is_managed_record(cursor):
+            managed_records.add(cursor.type.get_canonical().spelling)
+            for f in cursor.get_children():
+                if f.kind == ci.CursorKind.FIELD_DECL and \
+                        is_atomic_ptr(f.type):
+                    line = f.location.line
+                    if not _annotated(words, line, "quiescent") and \
+                            not _exempt(words, line, "R1"):
+                        atomic_cells.add(f.get_usr())
+                        diags.append((
+                            line, f.location.column,
+                            f"managed node '{cursor.spelling}' declares raw "
+                            f"atomic pointer cell '{f.spelling}' "
+                            f"({f.type.spelling}); use a policy link/vslot "
+                            f"field", "lfrc-node-raw-atomic-cell"))
+
+        if cursor.kind == ci.CursorKind.CALL_EXPR and \
+                cursor.spelling in ATOMIC_MEMBER_OPS:
+            for ch in cursor.get_children():
+                if ch.kind == ci.CursorKind.MEMBER_REF_EXPR:
+                    ref = ch.referenced
+                    if ref is not None and ref.get_usr() in atomic_cells:
+                        line = cursor.location.line
+                        if not _annotated(words, line, "quiescent") and \
+                                not _exempt(words, line, "R1"):
+                            diags.append((
+                                line, cursor.location.column,
+                                f"raw atomic {cursor.spelling}() on a "
+                                f"managed node cell; route through "
+                                f"guard/protect and cas_link/dcas_link_flag",
+                                "lfrc-node-raw-atomic-op"))
+
+        if cursor.kind in (ci.CursorKind.CXX_NEW_EXPR,
+                           ci.CursorKind.CXX_DELETE_EXPR):
+            try:
+                t = cursor.type
+                if cursor.kind == ci.CursorKind.CXX_NEW_EXPR:
+                    pointee = t.get_pointee()
+                else:
+                    arg = next(cursor.get_children(), None)
+                    pointee = arg.type.get_pointee() if arg is not None else None
+                decl = pointee.get_declaration() if pointee is not None else None
+                spelling = (pointee.get_canonical().spelling
+                            if pointee is not None else "")
+            except Exception:
+                decl, spelling = None, ""
+            managed = spelling in managed_records or \
+                (decl is not None and decl.is_definition() and
+                 is_managed_record(decl))
+            if managed:
+                line = cursor.location.line
+                fn = cursor.semantic_parent
+                fname = fn.spelling if fn is not None else ""
+                what = ("new" if cursor.kind == ci.CursorKind.CXX_NEW_EXPR
+                        else "delete")
+                if fname != "smr_dispose" and \
+                        not _annotated(words, line, "arena-route") and \
+                        not _exempt(words, line, "R4"):
+                    diags.append((
+                        line, cursor.location.column,
+                        f"direct {what} of policy-managed node type "
+                        f"'{spelling}' bypasses the counted_base arena "
+                        f"seam; use make_owner/retire_unlinked (annotate "
+                        f"'lfrc-lint: arena-route' only at the seam itself)",
+                        "lfrc-node-arena-bypass"))
+
+        for ch in cursor.get_children():
+            if ch.location.file and ch.location.file.name == path:
+                visit(ch)
+
+    try:
+        visit(tu.cursor)
+    except Exception:
+        return None
+    return diags
+
+
+def main(root: str, paths: list[str], compdb_dir: str | None,
+         require_clang: bool = False) -> int:
+    if not clang_frontend.available():
+        msg = ("lfrc_lint --tidy: libclang python bindings unavailable — "
+               "AST checks skipped")
+        if require_clang:
+            print(msg + " (--require-clang)", file=sys.stderr)
+            return 2
+        print(msg + " (opportunistic; --require-clang to fail hard)",
+              file=sys.stderr)
+        return 0
+    files = _collect_files(root, paths)
+    total = 0
+    degraded = 0
+    for path in files:
+        relpath = os.path.relpath(path, root)
+        diags = check_file(path, relpath, compdb_dir)
+        if diags is None:
+            degraded += 1
+            if require_clang:
+                print(f"lfrc_lint --tidy: parse failed for {relpath} and "
+                      f"--require-clang is set", file=sys.stderr)
+                return 2
+            continue
+        for line, col, message, check in diags:
+            print(f"{relpath}:{line}:{col}: warning: {message} [{check}]")
+            total += 1
+    note = f", {degraded} file(s) skipped (parse failure)" if degraded else ""
+    print(f"lfrc_lint --tidy: {len(files)} file(s), "
+          f"{total} diagnostic(s){note}")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    print("run via: lfrc_lint.py --tidy [PATHS]", file=sys.stderr)
+    sys.exit(2)
